@@ -1,0 +1,455 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// micro-benchmarks of the pipeline stages and ablations of the design
+// choices called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The corpus benchmarks use the full 795-loop synthetic corpus plus the
+// curated kernels, exactly like the cmd/ncdrf runners, so one benchmark
+// iteration is one full regeneration of the corresponding exhibit.
+package ncdrf
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"ncdrf/internal/codegen"
+	"ncdrf/internal/core"
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/experiment"
+	"ncdrf/internal/lifetime"
+	"ncdrf/internal/loopgen"
+	"ncdrf/internal/loops"
+	"ncdrf/internal/machine"
+	"ncdrf/internal/regalloc"
+	"ncdrf/internal/regfile"
+	"ncdrf/internal/sched"
+	"ncdrf/internal/spill"
+	"ncdrf/internal/vm"
+)
+
+var (
+	corpusOnce sync.Once
+	corpusFull []*ddg.Graph
+)
+
+func benchCorpus() []*ddg.Graph {
+	corpusOnce.Do(func() {
+		corpusFull = experiment.Corpus(loopgen.Defaults())
+	})
+	return corpusFull
+}
+
+// BenchmarkTable1 regenerates Table 1 (four PxLy configurations).
+func BenchmarkTable1(b *testing.B) {
+	corpus := benchCorpus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Table1(corpus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Example regenerates Table 2: the schedule and lifetimes
+// of the worked example loop.
+func BenchmarkTable2Example(b *testing.B) {
+	g := loops.PaperExample()
+	m := machine.Example()
+	for i := 0; i < b.N; i++ {
+		s, err := sched.Run(g, m, sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lts := lifetime.Compute(s)
+		if lifetime.SumLen(lts) != 42 {
+			b.Fatal("lifetime sum drifted from the paper's 42")
+		}
+	}
+}
+
+// BenchmarkTable3Classification regenerates Table 3: classification and
+// dual allocation before swapping.
+func BenchmarkTable3Classification(b *testing.B) {
+	g := loops.PaperExample()
+	m := machine.Example()
+	s, err := sched.Run(g, m, sched.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lts := lifetime.Compute(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		da, err := core.AllocateDual(core.Classify(s, lts))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if da.Requirement != 29 {
+			b.Fatal("partitioned requirement drifted from the paper's 29")
+		}
+	}
+}
+
+// BenchmarkTable4Swap regenerates Table 4: the greedy swap pass plus the
+// post-swap dual allocation.
+func BenchmarkTable4Swap(b *testing.B) {
+	g := loops.PaperExample()
+	m := machine.Example()
+	s, err := sched.Run(g, m, sched.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lts := lifetime.Compute(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		swapped, _ := core.Swap(s, core.SwapOptions{})
+		da, err := core.AllocateDual(core.Classify(swapped, lts))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if da.Requirement != 23 {
+			b.Fatal("swapped requirement drifted from the paper's 23")
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6 (static CDFs) for both latencies.
+func BenchmarkFigure6(b *testing.B) {
+	corpus := benchCorpus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, lat := range []int{3, 6} {
+			res, err := experiment.Fig6(corpus, lat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := res.Render(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7 (dynamic CDFs) for both latencies.
+func BenchmarkFigure7(b *testing.B) {
+	corpus := benchCorpus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, lat := range []int{3, 6} {
+			res, err := experiment.Fig7(corpus, lat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := res.Render(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure8And9 regenerates Figures 8 and 9: the limited-register
+// pipeline (with spilling) over all four configurations and models.
+func BenchmarkFigure8And9(b *testing.B) {
+	corpus := benchCorpus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig8and9(corpus, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.RenderFig8(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if err := res.RenderFig9(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegfileModel evaluates the section 3.2 area/access-time model
+// comparison (unified vs consistent dual vs NCDRF vs doubled unified).
+func BenchmarkRegfileModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		orgs := []regfile.Organization{
+			regfile.Unified(64, 64, 6),
+			regfile.ConsistentDual(64, 64, 6),
+			regfile.NonConsistentDual(64, 64, 6),
+			regfile.Unified(128, 64, 6),
+		}
+		var areaSum, timeSum float64
+		for _, o := range orgs {
+			areaSum += o.TotalArea()
+			timeSum += o.AccessTime()
+		}
+		if areaSum <= 0 || timeSum <= 0 {
+			b.Fatal("degenerate model outputs")
+		}
+	}
+}
+
+// --- micro-benchmarks of the pipeline stages ---
+
+// BenchmarkModuloSchedule schedules the whole curated kernel corpus.
+func BenchmarkModuloSchedule(b *testing.B) {
+	ks := loops.Kernels()
+	m := machine.Eval(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range ks {
+			if _, err := sched.Run(g, m, sched.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFirstFitAllocation allocates the kernel corpus's lifetimes.
+func BenchmarkFirstFitAllocation(b *testing.B) {
+	m := machine.Eval(6)
+	type job struct {
+		lts []lifetime.Lifetime
+		ii  int
+	}
+	var jobs []job
+	for _, g := range loops.Kernels() {
+		s, err := sched.Run(g, m, sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = append(jobs, job{lifetime.Compute(s), s.II})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range jobs {
+			if _, err := regalloc.FirstFit(j.lts, j.ii); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSwapPass runs the greedy swap over the kernel corpus.
+func BenchmarkSwapPass(b *testing.B) {
+	m := machine.Eval(6)
+	var scheds []*sched.Schedule
+	for _, g := range loops.Kernels() {
+		s, err := sched.Run(g, m, sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		scheds = append(scheds, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range scheds {
+			core.Swap(s, core.SwapOptions{})
+		}
+	}
+}
+
+// BenchmarkSpillPipeline runs the naive spiller on the highest-pressure
+// kernel at a tight register file.
+func BenchmarkSpillPipeline(b *testing.B) {
+	g, ok := loops.KernelByName("lfk7-eos")
+	if !ok {
+		b.Fatal("missing kernel")
+	}
+	m := machine.Eval(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := spill.Run(g, m, 24, core.Fit(core.Unified), sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.SpilledValues == 0 {
+			b.Fatal("expected spilling")
+		}
+	}
+}
+
+// --- ablation benchmarks (design choices from DESIGN.md) ---
+
+// BenchmarkAblationSwapMoves compares the paper's pair-only swap against
+// the AllowMoves extension: the custom metrics report the average
+// per-loop register estimate each variant reaches on the kernel corpus.
+func BenchmarkAblationSwapMoves(b *testing.B) {
+	m := machine.Eval(6)
+	type prep struct {
+		s   *sched.Schedule
+		lts []lifetime.Lifetime
+	}
+	var ps []prep
+	for _, g := range loops.Kernels() {
+		s, err := sched.Run(g, m, sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ps = append(ps, prep{s, lifetime.Compute(s)})
+	}
+	variants := []struct {
+		name string
+		opts core.SwapOptions
+	}{
+		{"pairs", core.SwapOptions{}},
+		{"pairs+moves", core.SwapOptions{AllowMoves: true}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				total = 0
+				for _, p := range ps {
+					swapped, _ := core.Swap(p.s, v.opts)
+					total += core.Classify(swapped, p.lts).MaxLiveEstimate()
+				}
+			}
+			b.ReportMetric(float64(total)/float64(len(ps)), "regs/loop")
+		})
+	}
+}
+
+// BenchmarkAblationSchedulerBudget compares the IMS eviction budget: a
+// small budget forces more II bumps (worse schedules, faster compile).
+func BenchmarkAblationSchedulerBudget(b *testing.B) {
+	ks := loops.Kernels()
+	m := machine.Eval(6)
+	for _, ratio := range []int{1, 4, 8} {
+		b.Run(map[int]string{1: "budget1", 4: "budget4", 8: "budget8"}[ratio], func(b *testing.B) {
+			totalII := 0
+			for i := 0; i < b.N; i++ {
+				totalII = 0
+				for _, g := range ks {
+					s, err := sched.Run(g, m, sched.Options{BudgetRatio: ratio})
+					if err != nil {
+						b.Fatal(err)
+					}
+					totalII += s.II
+				}
+			}
+			b.ReportMetric(float64(totalII)/float64(len(ks)), "II/loop")
+		})
+	}
+}
+
+// BenchmarkAblationAllocator compares the wands-only allocation
+// heuristics of Rau et al. (the paper picks First Fit for simplicity and
+// reports all perform similarly); the metric is registers per loop over
+// the curated kernels.
+func BenchmarkAblationAllocator(b *testing.B) {
+	m := machine.Eval(6)
+	type job struct {
+		lts []lifetime.Lifetime
+		ii  int
+	}
+	var jobs []job
+	for _, g := range loops.Kernels() {
+		s, err := sched.Run(g, m, sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = append(jobs, job{lifetime.Compute(s), s.II})
+	}
+	for _, strat := range regalloc.Strategies {
+		b.Run(strat.String(), func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				total = 0
+				for _, j := range jobs {
+					a, err := regalloc.Allocate(j.lts, j.ii, strat)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += a.Registers
+				}
+			}
+			b.ReportMetric(float64(total)/float64(len(jobs)), "regs/loop")
+		})
+	}
+}
+
+// BenchmarkPipelinedSimulation executes the paper's worked example on the
+// simulated dual rotating register file and verifies it against the
+// sequential reference.
+func BenchmarkPipelinedSimulation(b *testing.B) {
+	g := loops.PaperExample()
+	m := machine.Example()
+	for i := 0; i < b.N; i++ {
+		if err := vm.VerifyModel(g, m, core.Swapped, 0, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredicatedExecution runs the predicated-kernel machine model
+// (codegen) on the worked example and checks it against the reference.
+func BenchmarkPredicatedExecution(b *testing.B) {
+	g := loops.PaperExample()
+	m := machine.Example()
+	s, err := sched.Run(g, m, sched.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lts := lifetime.Compute(s)
+	dm, err := vm.NewDualMap(s, lts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := codegen.Generate(s, dm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := vm.RunReference(g, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := codegen.Execute(prog, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := vm.CompareStreams(want, got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnifiedVsDualRequirement reports the aggregate register needs
+// of the three organizations over the kernel corpus, making the paper's
+// headline effect visible in benchmark output.
+func BenchmarkUnifiedVsDualRequirement(b *testing.B) {
+	m := machine.Eval(6)
+	type prep struct {
+		s   *sched.Schedule
+		lts []lifetime.Lifetime
+	}
+	var ps []prep
+	for _, g := range loops.Kernels() {
+		s, err := sched.Run(g, m, sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ps = append(ps, prep{s, lifetime.Compute(s)})
+	}
+	for _, model := range []core.Model{core.Unified, core.Partitioned, core.Swapped} {
+		b.Run(model.String(), func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				total = 0
+				for _, p := range ps {
+					req, _, err := core.Requirement(model, p.s, p.lts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += req
+				}
+			}
+			b.ReportMetric(float64(total)/float64(len(ps)), "regs/loop")
+		})
+	}
+}

@@ -1,0 +1,385 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ncdrf/internal/core"
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/experiment"
+	"ncdrf/internal/lifetime"
+	"ncdrf/internal/loopgen"
+	"ncdrf/internal/loops"
+	"ncdrf/internal/machine"
+	"ncdrf/internal/regfile"
+	"ncdrf/internal/report"
+	"ncdrf/internal/sched"
+)
+
+func buildCorpus(o corpusOpts) []*ddg.Graph {
+	if *o.kernelsOnly {
+		return loops.Kernels()
+	}
+	p := loopgen.Defaults()
+	p.Loops = *o.loops
+	p.Seed = *o.seed
+	return experiment.Corpus(p)
+}
+
+func cmdExample(args []string) error {
+	fs := flag.NewFlagSet("example", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g := loops.PaperExample()
+	m := machine.Example()
+	s, err := sched.Run(g, m, sched.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("machine: %s\n", m)
+	fmt.Printf("loop: %s, II=%d, stages=%d\n\n", g.LoopName, s.II, s.Stages())
+	fmt.Println("kernel (Figure 4):")
+	fmt.Println(s.Kernel())
+
+	lts := lifetime.Compute(s)
+	tb := &report.Table{
+		Title:   "Table 2: lifetimes of loop variants",
+		Headers: []string{"value", "start", "end", "lifetime"},
+	}
+	for _, l := range lts {
+		tb.Add(s.Graph.Node(l.Node).Name,
+			fmt.Sprintf("%d", l.Start), fmt.Sprintf("%d", l.End), fmt.Sprintf("%d", l.Len()))
+	}
+	tb.Add("sum", "", "", fmt.Sprintf("%d", lifetime.SumLen(lts)))
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	printClasses := func(title string, sc *sched.Schedule) error {
+		cl := core.Classify(sc, lts)
+		tb := &report.Table{Title: title, Headers: []string{"value", "class", "registers"}}
+		for _, l := range lts {
+			tb.Add(sc.Graph.Node(l.Node).Name, cl.ByValue[l.Node].String(), fmt.Sprintf("%d", l.Len()))
+		}
+		gl, local := cl.SumByClass()
+		tb.Add("GL total", "", fmt.Sprintf("%d", gl))
+		for ci, v := range local {
+			tb.Add(fmt.Sprintf("C%d total", ci), "", fmt.Sprintf("%d", v))
+		}
+		fmt.Println()
+		return tb.Render(os.Stdout)
+	}
+	if err := printClasses("Table 3: allocation before swapping", s); err != nil {
+		return err
+	}
+	swapped, n := core.Swap(s, core.SwapOptions{})
+	if err := printClasses(fmt.Sprintf("Table 4: allocation after swapping (%d swaps)", n), swapped); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	tb = &report.Table{Title: "register requirements", Headers: []string{"model", "registers"}}
+	for _, model := range core.Models {
+		req, _, err := core.Requirement(model, s, lts)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%d", req)
+		if model == core.Ideal {
+			label = "unbounded"
+		}
+		tb.Add(model.String(), label)
+	}
+	return tb.Render(os.Stdout)
+}
+
+func cmdTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	o := corpusFlags(fs)
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := experiment.Table1(buildCorpus(o))
+	if err != nil {
+		return err
+	}
+	if *csv {
+		return res.RenderCSV(os.Stdout)
+	}
+	return res.Render(os.Stdout)
+}
+
+func cmdFigCDF(args []string, dynamic bool) error {
+	fs := flag.NewFlagSet("figcdf", flag.ExitOnError)
+	o := corpusFlags(fs)
+	chart := fs.Bool("chart", false, "render as an ASCII line chart instead of a table")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	corpus := buildCorpus(o)
+	for _, lat := range []int{3, 6} {
+		var res *experiment.CDFResult
+		var err error
+		if dynamic {
+			res, err = experiment.Fig7(corpus, lat)
+		} else {
+			res, err = experiment.Fig6(corpus, lat)
+		}
+		if err != nil {
+			return err
+		}
+		switch {
+		case *chart:
+			err = res.RenderChart(os.Stdout)
+		case *csv:
+			err = res.RenderCSV(os.Stdout)
+		default:
+			err = res.Render(os.Stdout)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdFigPerf(args []string, wantPerf, wantDensity bool) error {
+	fs := flag.NewFlagSet("figperf", flag.ExitOnError)
+	o := corpusFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := experiment.Fig8and9(buildCorpus(o), nil)
+	if err != nil {
+		return err
+	}
+	if wantPerf {
+		if err := res.RenderFig8(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if wantDensity {
+		if err := res.RenderFig9(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	o := corpusFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	corpus := buildCorpus(o)
+	fmt.Printf("corpus: %d loops\n\n", len(corpus))
+
+	if err := experiment.Stats(corpus).Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	t1, err := experiment.Table1(corpus)
+	if err != nil {
+		return err
+	}
+	if err := t1.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	for _, dynamic := range []bool{false, true} {
+		for _, lat := range []int{3, 6} {
+			var res *experiment.CDFResult
+			if dynamic {
+				res, err = experiment.Fig7(corpus, lat)
+			} else {
+				res, err = experiment.Fig6(corpus, lat)
+			}
+			if err != nil {
+				return err
+			}
+			if err := res.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	}
+	p, err := experiment.Fig8and9(corpus, nil)
+	if err != nil {
+		return err
+	}
+	if err := p.RenderFig8(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := p.RenderFig9(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	cs, err := experiment.ClusterScaling(corpus, 6, nil)
+	if err != nil {
+		return err
+	}
+	if err := cs.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := cmdRegfile(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	n, err := experiment.VerifySample(corpus, machine.Eval(6), 0, 10, 25)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("functional verification: %d loop/model combinations executed on the simulated\n", n)
+	fmt.Printf("rotating register files, all bit-identical to the sequential reference\n")
+	return nil
+}
+
+func findLoop(name string) (*ddg.Graph, error) {
+	if name == "paper-example" || name == "" {
+		return loops.PaperExample(), nil
+	}
+	if g, ok := loops.KernelByName(name); ok {
+		return g, nil
+	}
+	return nil, fmt.Errorf("unknown loop %q (see 'ncdrf kernels')", name)
+}
+
+func cmdSchedule(args []string) error {
+	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
+	name := fs.String("loop", "paper-example", "kernel name")
+	lat := fs.Int("lat", 3, "floating-point latency (3 or 6)")
+	example := fs.Bool("example-machine", false, "use the section 4 example machine")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := findLoop(*name)
+	if err != nil {
+		return err
+	}
+	m := machine.Eval(*lat)
+	if *example {
+		m = machine.Example()
+	}
+	s, err := sched.Run(g, m, sched.Options{})
+	if err != nil {
+		return err
+	}
+	mii, res, rec, err := sched.MII(g, m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loop %s on %s\n", g.LoopName, m)
+	fmt.Printf("ResMII=%d RecMII=%d MII=%d achieved II=%d stages=%d\n\n", res, rec, mii, s.II, s.Stages())
+	fmt.Println(s.Kernel())
+	return nil
+}
+
+func cmdAlloc(args []string) error {
+	fs := flag.NewFlagSet("alloc", flag.ExitOnError)
+	name := fs.String("loop", "paper-example", "kernel name")
+	lat := fs.Int("lat", 3, "floating-point latency (3 or 6)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := findLoop(*name)
+	if err != nil {
+		return err
+	}
+	m := machine.Eval(*lat)
+	s, err := sched.Run(g, m, sched.Options{})
+	if err != nil {
+		return err
+	}
+	lts := lifetime.Compute(s)
+	fmt.Printf("loop %s on %s: II=%d, %d values, MaxLive=%d\n",
+		g.LoopName, m.Name(), s.II, len(lts), lifetime.MaxLive(lts, s.II))
+	tb := &report.Table{Headers: []string{"model", "registers"}}
+	for _, model := range core.Models[1:] {
+		req, _, err := core.Requirement(model, s, lts)
+		if err != nil {
+			return err
+		}
+		tb.Add(model.String(), fmt.Sprintf("%d", req))
+	}
+	return tb.Render(os.Stdout)
+}
+
+func cmdKernels(args []string) error {
+	names := loops.KernelNames()
+	sort.Strings(names)
+	for _, n := range names {
+		g, _ := loops.KernelByName(n)
+		fmt.Printf("%-24s %2d ops, %d trips\n", n, g.NumNodes(), g.TripsOrOne())
+	}
+	fmt.Printf("%-24s %2d ops, %d trips\n", "paper-example", loops.PaperExample().NumNodes(),
+		loops.PaperExample().TripsOrOne())
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	n := fs.Int("n", 795, "number of loops")
+	seed := fs.Int64("seed", 1995, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := loopgen.Defaults()
+	p.Loops = *n
+	p.Seed = *seed
+	for _, g := range loopgen.Generate(p) {
+		if err := g.Encode(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	name := fs.String("loop", "paper-example", "kernel name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := findLoop(*name)
+	if err != nil {
+		return err
+	}
+	return g.DOT(os.Stdout)
+}
+
+func cmdRegfile(args []string) error {
+	fs := flag.NewFlagSet("regfile", flag.ExitOnError)
+	regs := fs.Int("regs", 64, "registers per (sub)file")
+	bits := fs.Int("bits", 64, "bits per register")
+	units := fs.Int("units", 6, "functional units")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	orgs := []regfile.Organization{
+		regfile.Unified(*regs, *bits, *units),
+		regfile.ConsistentDual(*regs, *bits, *units),
+		regfile.NonConsistentDual(*regs, *bits, *units),
+		regfile.Unified(2**regs, *bits, *units),
+	}
+	orgs[3].Name = "unified-doubled"
+	tb := &report.Table{
+		Title:   "Register-file implementation models (section 3.2, normalized units)",
+		Headers: []string{"organization", "capacity", "area", "access time"},
+	}
+	for _, o := range orgs {
+		tb.Add(o.Name, fmt.Sprintf("%d", o.Capacity),
+			fmt.Sprintf("%.0f", o.TotalArea()), report.F2(o.AccessTime()))
+	}
+	return tb.Render(os.Stdout)
+}

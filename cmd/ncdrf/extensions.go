@@ -1,0 +1,35 @@
+package main
+
+import (
+	"flag"
+	"os"
+
+	"ncdrf/internal/experiment"
+)
+
+// cmdStats prints workload statistics, including the section 3.3
+// single-use fraction the whole proposal rests on.
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	o := corpusFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return experiment.Stats(buildCorpus(o)).Render(os.Stdout)
+}
+
+// cmdClusters runs the cluster-scaling extension study (1, 2 and 4
+// clusters).
+func cmdClusters(args []string) error {
+	fs := flag.NewFlagSet("clusters", flag.ExitOnError)
+	o := corpusFlags(fs)
+	lat := fs.Int("lat", 6, "floating-point latency (3 or 6)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := experiment.ClusterScaling(buildCorpus(o), *lat, nil)
+	if err != nil {
+		return err
+	}
+	return res.Render(os.Stdout)
+}

@@ -1,0 +1,129 @@
+// Command ncdrf reproduces the tables and figures of "Non-Consistent Dual
+// Register Files to Reduce Register Pressure" (Llosa, Valero, Ayguadé,
+// HPCA 1995) and exposes the underlying pipeline (modulo scheduling,
+// lifetime analysis, rotating register allocation, swapping, spilling)
+// for individual loops.
+//
+// Usage:
+//
+//	ncdrf example                     worked example of section 4 (Tables 2-4)
+//	ncdrf table1 [flags]              Table 1
+//	ncdrf fig6 [flags]                Figure 6 (static CDFs, latency 3 and 6)
+//	ncdrf fig7 [flags]                Figure 7 (dynamic CDFs)
+//	ncdrf fig8 [flags]                Figure 8 (relative performance)
+//	ncdrf fig9 [flags]                Figure 9 (memory traffic density)
+//	ncdrf all [flags]                 every table and figure
+//	ncdrf schedule -loop <name>       schedule one kernel and print it
+//	ncdrf alloc -loop <name>          allocate one kernel under all models
+//	ncdrf kernels                     list curated kernels
+//	ncdrf gen -n <count> -seed <s>    emit the synthetic corpus (DDG text)
+//	ncdrf dot -loop <name>            DOT dependence graph of a kernel
+//	ncdrf regfile                     register-file area/access-time models
+//
+// Corpus flags (table1/fig6..9/all): -loops N -seed S -kernels-only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "example":
+		err = cmdExample(args)
+	case "table1":
+		err = cmdTable1(args)
+	case "fig6":
+		err = cmdFigCDF(args, false)
+	case "fig7":
+		err = cmdFigCDF(args, true)
+	case "fig8":
+		err = cmdFigPerf(args, true, false)
+	case "fig9":
+		err = cmdFigPerf(args, false, true)
+	case "all":
+		err = cmdAll(args)
+	case "schedule":
+		err = cmdSchedule(args)
+	case "alloc":
+		err = cmdAlloc(args)
+	case "kernels":
+		err = cmdKernels(args)
+	case "gen":
+		err = cmdGen(args)
+	case "dot":
+		err = cmdDot(args)
+	case "regfile":
+		err = cmdRegfile(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "listing":
+		err = cmdListing(args)
+	case "object":
+		err = cmdObject(args)
+	case "stats":
+		err = cmdStats(args)
+	case "clusters":
+		err = cmdClusters(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "ncdrf: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ncdrf %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `ncdrf - Non-Consistent Dual Register Files (HPCA'95) reproduction
+
+commands:
+  example    worked example of section 4 (Tables 2, 3 and 4)
+  table1     Table 1: loops allocatable without spilling per configuration
+  fig6       Figure 6: static cumulative distribution of register needs
+  fig7       Figure 7: dynamic (cycle-weighted) cumulative distribution
+  fig8       Figure 8: performance with 32/64 registers
+  fig9       Figure 9: density of memory traffic
+  all        all of the above
+  schedule   modulo-schedule one kernel (-loop name, -lat 3|6)
+  alloc      register requirements of one kernel under every model
+  kernels    list the curated kernel corpus
+  gen        emit the synthetic corpus as DDG text (-n, -seed)
+  dot        DOT dependence graph of a kernel (-loop name)
+  regfile    register-file area and access-time model comparison
+  verify     execute compiled loops on simulated rotating register files
+             and check them bit-for-bit against a sequential reference
+  listing    assembly-like kernel listing with allocated register specifiers
+  object     predicated kernel-only code (stage predicates, encoded rotating
+             specifiers, brtop), as the Cydra-5-style hardware executes it
+  stats      corpus statistics, incl. the section 3.3 single-use fraction
+  clusters   extension study: 1/2/4-cluster machines
+`)
+}
+
+// corpusFlags attaches the shared corpus options to a FlagSet.
+type corpusOpts struct {
+	loops       *int
+	seed        *int64
+	kernelsOnly *bool
+}
+
+func corpusFlags(fs *flag.FlagSet) corpusOpts {
+	return corpusOpts{
+		loops:       fs.Int("loops", 795, "synthetic corpus size"),
+		seed:        fs.Int64("seed", 1995, "synthetic corpus seed"),
+		kernelsOnly: fs.Bool("kernels-only", false, "use only the curated kernels"),
+	}
+}

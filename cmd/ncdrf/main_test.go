@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected to a pipe and returns what it
+// printed.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r)
+		done <- buf.String()
+	}()
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if errRun != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", errRun, out)
+	}
+	return out
+}
+
+func TestCmdExample(t *testing.T) {
+	out := capture(t, func() error { return cmdExample(nil) })
+	for _, want := range []string{"Table 2", "Table 3", "Table 4", "42", "29", "23", "II=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("example output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdTable1KernelsOnly(t *testing.T) {
+	out := capture(t, func() error { return cmdTable1([]string{"-kernels-only"}) })
+	if !strings.Contains(out, "P2L6") {
+		t.Fatalf("table1 output missing P2L6:\n%s", out)
+	}
+	csv := capture(t, func() error { return cmdTable1([]string{"-kernels-only", "-csv"}) })
+	if !strings.HasPrefix(csv, "config,") {
+		t.Fatalf("csv output malformed:\n%s", csv)
+	}
+}
+
+func TestCmdFigsSmall(t *testing.T) {
+	out := capture(t, func() error { return cmdFigCDF([]string{"-loops", "15", "-seed", "3"}, false) })
+	if !strings.Contains(out, "Figure 6 (latency 3)") || !strings.Contains(out, "Figure 6 (latency 6)") {
+		t.Fatalf("fig6 incomplete:\n%s", out)
+	}
+	chart := capture(t, func() error { return cmdFigCDF([]string{"-loops", "15", "-seed", "3", "-chart"}, true) })
+	if !strings.Contains(chart, "legend:") {
+		t.Fatalf("chart missing legend:\n%s", chart)
+	}
+}
+
+func TestCmdScheduleAndAlloc(t *testing.T) {
+	out := capture(t, func() error { return cmdSchedule([]string{"-loop", "daxpy", "-lat", "6"}) })
+	if !strings.Contains(out, "ResMII") || !strings.Contains(out, "row 0:") {
+		t.Fatalf("schedule output wrong:\n%s", out)
+	}
+	out = capture(t, func() error { return cmdSchedule([]string{"-example-machine"}) })
+	if !strings.Contains(out, "II=1") {
+		t.Fatalf("example-machine schedule wrong:\n%s", out)
+	}
+	out = capture(t, func() error { return cmdAlloc([]string{"-loop", "lfk7-eos", "-lat", "6"}) })
+	if !strings.Contains(out, "unified") || !strings.Contains(out, "swapped") {
+		t.Fatalf("alloc output wrong:\n%s", out)
+	}
+}
+
+func TestCmdKernelsGenDot(t *testing.T) {
+	out := capture(t, func() error { return cmdKernels(nil) })
+	if !strings.Contains(out, "daxpy") || !strings.Contains(out, "paper-example") {
+		t.Fatalf("kernels listing wrong:\n%s", out)
+	}
+	out = capture(t, func() error { return cmdGen([]string{"-n", "3", "-seed", "9"}) })
+	if strings.Count(out, "loop syn") != 3 {
+		t.Fatalf("gen output wrong:\n%s", out)
+	}
+	out = capture(t, func() error { return cmdDot([]string{"-loop", "daxpy"}) })
+	if !strings.Contains(out, "digraph") {
+		t.Fatalf("dot output wrong:\n%s", out)
+	}
+}
+
+func TestCmdRegfileStatsListing(t *testing.T) {
+	out := capture(t, func() error { return cmdRegfile(nil) })
+	if !strings.Contains(out, "non-consistent-dual") {
+		t.Fatalf("regfile output wrong:\n%s", out)
+	}
+	out = capture(t, func() error { return cmdStats([]string{"-kernels-only"}) })
+	if !strings.Contains(out, "read exactly once") {
+		t.Fatalf("stats output wrong:\n%s", out)
+	}
+	out = capture(t, func() error { return cmdListing([]string{"-example-machine", "-model", "swapped"}) })
+	if !strings.Contains(out, "rotating registers") {
+		t.Fatalf("listing output wrong:\n%s", out)
+	}
+	out = capture(t, func() error { return cmdListing([]string{"-model", "unified", "-loop", "daxpy"}) })
+	if !strings.Contains(out, "file 0:") {
+		t.Fatalf("unified listing wrong:\n%s", out)
+	}
+}
+
+func TestCmdObject(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdObject([]string{"-example-machine", "-model", "swapped"})
+	})
+	for _, want := range []string{"brtop", "p[", "kernel of paper-example"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("object output missing %q:\n%s", want, out)
+		}
+	}
+	if err := cmdObject([]string{"-model", "bogus"}); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestCmdVerifySingleLoop(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdVerify([]string{"-loop", "daxpy", "-model", "swapped", "-iters", "6"})
+	})
+	if !strings.Contains(out, "bit-identical") {
+		t.Fatalf("verify output wrong:\n%s", out)
+	}
+}
+
+func TestCmdClustersSmall(t *testing.T) {
+	out := capture(t, func() error { return cmdClusters([]string{"-kernels-only", "-lat", "3"}) })
+	if !strings.Contains(out, "cluster scaling") {
+		t.Fatalf("clusters output wrong:\n%s", out)
+	}
+}
+
+func TestFindLoopErrors(t *testing.T) {
+	if _, err := findLoop("definitely-missing"); err == nil {
+		t.Fatal("unknown loop must error")
+	}
+	g, err := findLoop("")
+	if err != nil || g.LoopName != "paper-example" {
+		t.Fatalf("default loop wrong: %v %v", g, err)
+	}
+}
+
+func TestCmdVerifyUnknownModel(t *testing.T) {
+	if err := cmdVerify([]string{"-model", "bogus"}); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}

@@ -1,0 +1,35 @@
+// Corpus runs a reduced version of the paper's evaluation: Table 1 and
+// the Figure 6/7 cumulative distributions over the curated kernels plus a
+// small synthetic corpus, printed as tables.
+//
+//	go run ./examples/corpus
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ncdrf"
+)
+
+func main() {
+	opts := ncdrf.CorpusOptions{Loops: 120, Seed: 7}
+
+	fmt.Println("== Table 1 ==")
+	if err := ncdrf.RenderTable1(opts, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== Figure 6 (static) ==")
+	if err := ncdrf.RenderFig6(opts, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Figure 7 (dynamic) ==")
+	if err := ncdrf.RenderFig7(opts, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Figures 8 and 9 ==")
+	if err := ncdrf.RenderFig8And9(opts, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package codegen emits executable kernel-only code for modulo-scheduled
+// loops, the way the Cydra-5-style hardware the paper assumes runs them
+// (section 2): a single copy of the kernel, stage predicates that switch
+// iterations on during the prologue ramp and off during the epilogue
+// drain, a rotating register base (RRB) decremented once per kernel pass,
+// and register specifiers encoded with their producer's stage offset so
+// the one static instruction addresses a different physical register on
+// every pass — no code replication, no modulo variable expansion.
+//
+// The package also contains a predicated executor for the generated
+// program. It is deliberately a *different* machine model from
+// internal/vm's event-driven pipeline: the two executors plus the
+// sequential reference give three independent implementations whose
+// outputs must agree bit for bit.
+package codegen
+
+import (
+	"fmt"
+
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/sched"
+	"ncdrf/internal/vm"
+)
+
+// Operand is an encoded register source of an instruction.
+type Operand struct {
+	// File, Base, Size locate the rotating region (see vm.Target).
+	File, Base, Size int
+	// Enc is the stage-adjusted specifier encoded in the instruction:
+	// physical register = Base + ((Enc + RRB) mod Size), with RRB = -pass.
+	Enc int
+	// Producer and Distance identify the dataflow source, kept for
+	// diagnostics and for pre-loop (negative iteration) reads.
+	Producer int
+	Distance int
+}
+
+// Dest is an encoded register destination.
+type Dest struct {
+	File, Base, Size int
+	Enc              int
+}
+
+// Instruction is one operation of the kernel image.
+type Instruction struct {
+	// Node is the DDG node the instruction implements.
+	Node int
+	// Op is the operation.
+	Op ddg.OpCode
+	// Label names the instruction (the node's label).
+	Label string
+	// Row is the kernel row (issue cycle mod II).
+	Row int
+	// Stage is the pipeline stage: during kernel pass k the instruction
+	// works on iteration k - Stage and is predicated off unless
+	// 0 <= k-Stage < trips.
+	Stage int
+	// Unit is the machine unit index executing the instruction.
+	Unit int
+	// Dests are the register destinations (several for global values).
+	Dests []Dest
+	// Srcs are the register sources in operand order.
+	Srcs []Operand
+	// Sym is the memory symbol for loads/stores.
+	Sym string
+	// SpillSlot marks spill memory accesses (-1 otherwise) and MemDist
+	// is a reload's distance to its paired store.
+	SpillSlot int
+	MemDist   int
+}
+
+// Program is a complete kernel image.
+type Program struct {
+	// Loop is the source graph (needed by the executor for pre-loop
+	// operand values and store identity).
+	Loop *ddg.Graph
+	// II and Stages describe the schedule shape.
+	II, Stages int
+	// Rows holds the instructions by kernel row, unit-ordered.
+	Rows [][]Instruction
+	// Files are the physical sizes of the register files.
+	Files []int
+}
+
+// Generate lowers a schedule plus a register mapping into a kernel image.
+func Generate(s *sched.Schedule, rm vm.RegMap) (*Program, error) {
+	if err := s.Verify(); err != nil {
+		return nil, fmt.Errorf("codegen: invalid schedule: %w", err)
+	}
+	g := s.Graph
+	p := &Program{
+		Loop:   g,
+		II:     s.II,
+		Stages: s.Stages(),
+		Rows:   make([][]Instruction, s.II),
+		Files:  rm.FileSizes(),
+	}
+	for _, n := range g.Nodes() {
+		stage := s.Stage(n.ID)
+		ins := Instruction{
+			Node:      n.ID,
+			Op:        n.Op,
+			Label:     n.Label(),
+			Row:       s.Slot(n.ID),
+			Stage:     stage,
+			Unit:      s.FU[n.ID],
+			Sym:       n.Sym,
+			SpillSlot: n.SpillSlot,
+			MemDist:   -1,
+		}
+		// Destinations: the encoded specifier addresses the value of
+		// iteration k-stage at pass k, so enc = spec + stage (mod size).
+		for _, tgt := range rm.WriteTargets(n.ID) {
+			ins.Dests = append(ins.Dests, Dest{
+				File: tgt.File, Base: tgt.Base, Size: tgt.Size,
+				Enc: mod(tgt.Spec+stage, tgt.Size),
+			})
+		}
+		// Sources: the operand of iteration (k-stage)-d lives at
+		// spec + stage + d (mod size) in the consumer's cluster file.
+		for _, e := range g.InEdges(n.ID) {
+			switch e.Kind {
+			case ddg.Flow:
+				tgt, err := rm.ReadTarget(s.Cluster(n.ID), e.From)
+				if err != nil {
+					return nil, fmt.Errorf("codegen: %s: %w", n, err)
+				}
+				ins.Srcs = append(ins.Srcs, Operand{
+					File: tgt.File, Base: tgt.Base, Size: tgt.Size,
+					Enc:      mod(tgt.Spec+stage+e.Distance, tgt.Size),
+					Producer: e.From,
+					Distance: e.Distance,
+				})
+			case ddg.Mem:
+				if n.Op == ddg.LOAD && n.SpillSlot >= 0 {
+					ins.MemDist = e.Distance
+				}
+			}
+		}
+		if n.Op == ddg.LOAD && n.SpillSlot >= 0 && ins.MemDist < 0 {
+			return nil, fmt.Errorf("codegen: reload %s lacks a memory dependence", n)
+		}
+		p.Rows[ins.Row] = append(p.Rows[ins.Row], ins)
+	}
+	for r := range p.Rows {
+		sortByUnit(p.Rows[r])
+	}
+	return p, nil
+}
+
+func sortByUnit(ins []Instruction) {
+	for i := 1; i < len(ins); i++ {
+		for j := i; j > 0 && ins[j-1].Unit > ins[j].Unit; j-- {
+			ins[j-1], ins[j] = ins[j], ins[j-1]
+		}
+	}
+}
+
+func mod(a, m int) int {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

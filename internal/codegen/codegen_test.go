@@ -1,0 +1,251 @@
+package codegen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ncdrf/internal/core"
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/lifetime"
+	"ncdrf/internal/loops"
+	"ncdrf/internal/machine"
+	"ncdrf/internal/sched"
+	"ncdrf/internal/spill"
+	"ncdrf/internal/vm"
+)
+
+func buildProgram(t *testing.T, g *ddg.Graph, m *machine.Config, dual bool) (*Program, *sched.Schedule) {
+	t.Helper()
+	s, err := sched.Run(g, m, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lts := lifetime.Compute(s)
+	var rm vm.RegMap
+	if dual {
+		d, err := vm.NewDualMap(s, lts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm = d
+	} else {
+		u, err := vm.NewUnifiedMap(lts, s.II)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm = u
+	}
+	p, err := Generate(s, rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, s
+}
+
+func TestGenerateShape(t *testing.T) {
+	g := loops.PaperExample()
+	p, s := buildProgram(t, g, machine.Example(), true)
+	if p.II != 1 || p.Stages != 14 {
+		t.Fatalf("II/stages = %d/%d", p.II, p.Stages)
+	}
+	if len(p.Rows) != s.II {
+		t.Fatalf("rows = %d", len(p.Rows))
+	}
+	total := 0
+	for _, row := range p.Rows {
+		total += len(row)
+	}
+	if total != g.NumNodes() {
+		t.Fatalf("instructions = %d, want %d", total, g.NumNodes())
+	}
+	// Encoded specifiers must be stage-adjusted: L1 has spec q and stage
+	// 0, so Enc == spec; its consumer A6 at stage 10 must encode
+	// q + 10 mod size.
+	var l1 Instruction
+	var a6 Instruction
+	for _, row := range p.Rows {
+		for _, ins := range row {
+			switch ins.Label {
+			case "L1":
+				l1 = ins
+			case "A6":
+				a6 = ins
+			}
+		}
+	}
+	if len(l1.Dests) == 0 || len(a6.Srcs) < 2 {
+		t.Fatal("missing L1 dest or A6 srcs")
+	}
+	// A6's second operand is x (L1's value).
+	src := a6.Srcs[1]
+	if src.Producer != loops.PaperExample().NodeByName("L1").ID {
+		// Operand order: fadd v5, x -> src[0]=M5, src[1]=L1.
+		t.Fatalf("A6 operand order unexpected: %+v", a6.Srcs)
+	}
+	want := (l1.Dests[0].Enc + 10) % src.Size
+	if src.Enc != want {
+		t.Fatalf("A6 src enc = %d, want %d (stage-adjusted)", src.Enc, want)
+	}
+}
+
+func TestExecuteMatchesReferencePaperExample(t *testing.T) {
+	g := loops.PaperExample()
+	want, err := vm.RunReference(g, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dual := range []bool{false, true} {
+		p, _ := buildProgram(t, g, machine.Example(), dual)
+		got, err := Execute(p, 30)
+		if err != nil {
+			t.Fatalf("dual=%v: %v", dual, err)
+		}
+		if err := vm.CompareStreams(want, got); err != nil {
+			t.Fatalf("dual=%v: %v", dual, err)
+		}
+	}
+}
+
+func TestExecuteAllKernelsTripleAgreement(t *testing.T) {
+	// Reference, event-driven pipeline (vm) and predicated-kernel
+	// machine (codegen) must agree on every curated kernel.
+	m := machine.Eval(6)
+	for _, g := range loops.Kernels() {
+		want, err := vm.RunReference(g, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", g.LoopName, err)
+		}
+		p, s := buildProgram(t, g, m, true)
+		got, err := Execute(p, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", g.LoopName, err)
+		}
+		if err := vm.CompareStreams(want, got); err != nil {
+			t.Fatalf("%s: %v", g.LoopName, err)
+		}
+		_ = s
+	}
+}
+
+func TestExecuteWithSpillCode(t *testing.T) {
+	g, ok := loops.KernelByName("lfk7-eos")
+	if !ok {
+		t.Fatal("missing kernel")
+	}
+	m := machine.Eval(6)
+	res, err := spill.Run(g, m, 24, core.Fit(core.Swapped), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lts := lifetime.Compute(res.Sched)
+	d, err := vm.NewDualMap(res.Sched, lts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Generate(res.Sched, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Execute(p, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := vm.RunReference(g, 12) // original, unspilled loop
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.CompareStreams(want, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteRejectsBadTrips(t *testing.T) {
+	g := loops.PaperExample()
+	p, _ := buildProgram(t, g, machine.Example(), false)
+	if _, err := Execute(p, 0); err == nil {
+		t.Fatal("trips=0 must fail")
+	}
+}
+
+func TestFormatListing(t *testing.T) {
+	g := loops.PaperExample()
+	p, _ := buildProgram(t, g, machine.Example(), true)
+	out := Format(p)
+	for _, want := range []string{"kernel", "p[", "brtop", "L1", "S7"} {
+		if !contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// Property: the predicated-kernel machine agrees with the reference on
+// random loops under both organizations.
+func TestPropertyPredicatedAgreement(t *testing.T) {
+	ops := []ddg.OpCode{ddg.FADD, ddg.FSUB, ddg.FMUL, ddg.LOAD, ddg.STORE}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := ddg.New("rand", 1)
+		n := 4 + r.Intn(10)
+		for i := 0; i < n; i++ {
+			g.AddNode(ops[r.Intn(len(ops))], "")
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(3) == 0 && g.Node(i).Op.ProducesValue() {
+					g.Flow(i, j)
+				}
+			}
+		}
+		m := machine.Eval([]int{3, 6}[r.Intn(2)])
+		s, err := sched.Run(g, m, sched.Options{})
+		if err != nil {
+			return false
+		}
+		lts := lifetime.Compute(s)
+		var rm vm.RegMap
+		if r.Intn(2) == 0 {
+			d, err := vm.NewDualMap(s, lts)
+			if err != nil {
+				return false
+			}
+			rm = d
+		} else {
+			u, err := vm.NewUnifiedMap(lts, s.II)
+			if err != nil {
+				return false
+			}
+			rm = u
+		}
+		p, err := Generate(s, rm)
+		if err != nil {
+			return false
+		}
+		got, err := Execute(p, 7)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		want, err := vm.RunReference(g, 7)
+		if err != nil {
+			return false
+		}
+		return vm.CompareStreams(want, got) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+package codegen
+
+import (
+	"fmt"
+
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/vm"
+)
+
+// Execute runs the kernel image for the given trip count on the
+// predicated-kernel machine model: trips + stages - 1 kernel passes, each
+// decrementing the rotating register base; instruction of stage s in pass
+// k works on iteration k-s and executes only when its stage predicate is
+// on (0 <= k-s < trips).
+//
+// Values are written at issue. That is safe precisely because the
+// allocator reserves each register from the producer's issue cycle: every
+// reader of the previous occupant issues strictly before the new
+// producer does (its own read happens at or after the producer's
+// completion, which the dependence constraints order after issue). Within
+// one row all operands are read before any result is written, matching
+// the register file's read-then-write port discipline.
+func Execute(p *Program, trips int) (vm.StoreStream, error) {
+	if trips < 1 {
+		return nil, fmt.Errorf("codegen: trips = %d", trips)
+	}
+	files := make([][]float64, len(p.Files))
+	for i, size := range p.Files {
+		files[i] = make([]float64, size)
+	}
+	out := vm.StoreStream{}
+	spillMem := map[int]map[int]float64{}
+	g := p.Loop
+
+	passes := trips + p.Stages - 1
+	for k := 0; k < passes; k++ {
+		rrb := -k
+		for row := 0; row < p.II; row++ {
+			type exec struct {
+				ins  *Instruction
+				iter int
+				args []float64
+			}
+			var active []exec
+			// Phase 1: predicate evaluation and operand reads.
+			for i := range p.Rows[row] {
+				ins := &p.Rows[row][i]
+				iter := k - ins.Stage
+				if iter < 0 || iter >= trips {
+					continue // stage predicate off
+				}
+				e := exec{ins: ins, iter: iter}
+				for _, src := range ins.Srcs {
+					if iter-src.Distance < 0 {
+						// The operand predates the loop: the register
+						// holds the pre-loop value of its producer.
+						e.args = append(e.args,
+							preLoopValue(g, src.Producer, iter-src.Distance))
+						continue
+					}
+					phys := src.Base + mod(src.Enc+rrb, src.Size)
+					e.args = append(e.args, files[src.File][phys])
+				}
+				active = append(active, e)
+			}
+			// Phase 2: compute and write.
+			for _, e := range active {
+				v, store, err := evaluate(g, e.ins, e.iter, e.args, spillMem)
+				if err != nil {
+					return nil, err
+				}
+				if store {
+					continue
+				}
+				for _, d := range e.ins.Dests {
+					phys := d.Base + mod(d.Enc+rrb, d.Size)
+					files[d.File][phys] = v
+				}
+			}
+			// Stores are folded into evaluate via the stream below.
+			for _, e := range active {
+				if e.ins.Op == ddg.STORE && e.ins.SpillSlot < 0 {
+					out[vm.StoreKey{Node: e.ins.Label, Iter: e.iter}] = storeValue(e.ins, e.args)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// evaluate computes an instruction's result value; store reports that the
+// instruction produces no register value.
+func evaluate(g *ddg.Graph, ins *Instruction, iter int, args []float64,
+	spillMem map[int]map[int]float64) (float64, bool, error) {
+	switch {
+	case ins.Op == ddg.LOAD && ins.SpillSlot >= 0:
+		src := iter - ins.MemDist
+		if src < 0 {
+			return preLoopValue(g, spillProducer(g, ins.Node), src), false, nil
+		}
+		slot := spillMem[ins.SpillSlot]
+		if slot != nil {
+			if v, ok := slot[src]; ok {
+				return v, false, nil
+			}
+		}
+		return 0, false, fmt.Errorf("codegen: reload %s reads slot %d iteration %d before its store",
+			ins.Label, ins.SpillSlot, src)
+	case ins.Op == ddg.LOAD:
+		return vm.LoadValue(ins.Label, iter), false, nil
+	case ins.Op == ddg.STORE && ins.SpillSlot >= 0:
+		slot := spillMem[ins.SpillSlot]
+		if slot == nil {
+			slot = map[int]float64{}
+			spillMem[ins.SpillSlot] = slot
+		}
+		slot[iter] = storeValue(ins, args)
+		return 0, true, nil
+	case ins.Op == ddg.STORE:
+		return 0, true, nil
+	default:
+		return vm.ComputeOp(g.Node(ins.Node), args), false, nil
+	}
+}
+
+func storeValue(ins *Instruction, args []float64) float64 {
+	if len(args) > 0 {
+		return args[0]
+	}
+	return vm.PadValue(ins.Label, 0)
+}
+
+// preLoopValue is the deterministic pre-loop content of a register read
+// at a negative iteration index; it matches vm's initial values so all
+// three executors agree.
+func preLoopValue(g *ddg.Graph, producer, iter int) float64 {
+	return vm.InitValue(g.Node(producer).Label(), iter)
+}
+
+// spillProducer resolves the value feeding a reload's paired spill store.
+func spillProducer(g *ddg.Graph, reload int) int {
+	for _, e := range g.InEdges(reload) {
+		if e.Kind == ddg.Mem {
+			store := e.From
+			for _, se := range g.InEdges(store) {
+				if se.Kind == ddg.Flow {
+					return se.From
+				}
+			}
+			return store
+		}
+	}
+	return reload
+}

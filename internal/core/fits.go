@@ -1,0 +1,39 @@
+package core
+
+import (
+	"ncdrf/internal/lifetime"
+	"ncdrf/internal/regalloc"
+	"ncdrf/internal/sched"
+)
+
+// Fit returns a fit predicate for the model, with the signature expected
+// by the spill package: it reports whether the schedule's values can be
+// allocated in regs registers (per subfile, for the dual organizations)
+// and returns the schedule actually used (rebalanced for Swapped).
+func Fit(model Model) func(s *sched.Schedule, lts []lifetime.Lifetime, regs int) (*sched.Schedule, bool) {
+	switch model {
+	case Ideal:
+		return func(s *sched.Schedule, _ []lifetime.Lifetime, _ int) (*sched.Schedule, bool) {
+			return s, true
+		}
+	case Unified:
+		return func(s *sched.Schedule, lts []lifetime.Lifetime, regs int) (*sched.Schedule, bool) {
+			return s, regalloc.FitsIn(lts, s.II, regs)
+		}
+	case Partitioned:
+		return func(s *sched.Schedule, lts []lifetime.Lifetime, regs int) (*sched.Schedule, bool) {
+			return s, FitsDual(Classify(s, lts), regs)
+		}
+	case Swapped:
+		return func(s *sched.Schedule, lts []lifetime.Lifetime, regs int) (*sched.Schedule, bool) {
+			// Cheap path first: if the unswapped partition fits, accept.
+			if FitsDual(Classify(s, lts), regs) {
+				return s, true
+			}
+			swapped, _ := Swap(s, SwapOptions{})
+			return swapped, FitsDual(Classify(swapped, lts), regs)
+		}
+	default:
+		panic("core: Fit on unknown model")
+	}
+}

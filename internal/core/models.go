@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"ncdrf/internal/lifetime"
+	"ncdrf/internal/sched"
+)
+
+// Model enumerates the four register-file organizations the paper
+// evaluates (section 5.2).
+type Model int
+
+const (
+	// Ideal is an infinite register file: an upper bound on performance.
+	Ideal Model = iota
+	// Unified is a traditional unified register file; it also models the
+	// consistent dual register file, whose subfiles replicate everything.
+	Unified
+	// Partitioned is the non-consistent dual register file without
+	// operation swapping.
+	Partitioned
+	// Swapped is Partitioned plus the greedy swap pass.
+	Swapped
+
+	NumModels = 4
+)
+
+// Models lists all models in presentation order.
+var Models = [...]Model{Ideal, Unified, Partitioned, Swapped}
+
+// String returns the paper's model name.
+func (m Model) String() string {
+	switch m {
+	case Ideal:
+		return "ideal"
+	case Unified:
+		return "unified"
+	case Partitioned:
+		return "partitioned"
+	case Swapped:
+		return "swapped"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// ParseModel converts a model name back to its Model.
+func ParseModel(s string) (Model, error) {
+	for _, m := range Models {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown model %q", s)
+}
+
+// Requirement returns the number of registers the model needs for the
+// schedule (per subfile for the dual organizations, which is what the
+// paper plots), and the possibly rebalanced schedule (identical to the
+// input except for Swapped). Ideal always requires 0.
+func Requirement(model Model, s *sched.Schedule, lts []lifetime.Lifetime) (int, *sched.Schedule, error) {
+	switch model {
+	case Ideal:
+		return 0, s, nil
+	case Unified:
+		r, err := UnifiedRequirement(lts, s.II)
+		return r, s, err
+	case Partitioned:
+		r, err := PartitionedRequirement(s, lts)
+		return r, s, err
+	case Swapped:
+		swapped, _ := Swap(s, SwapOptions{})
+		r, err := PartitionedRequirement(swapped, lts)
+		return r, swapped, err
+	default:
+		return 0, nil, fmt.Errorf("core: unknown model %d", int(model))
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"ncdrf/internal/lifetime"
+	"ncdrf/internal/sched"
+)
+
+// SwapOptions tunes the greedy swap pass.
+type SwapOptions struct {
+	// AllowMoves additionally permits moving a single operation to a
+	// free same-kind unit of another cluster in the same kernel row.
+	// This is an extension beyond the paper's pair-swap algorithm, kept
+	// for the ablation study; the paper's "swapped" model uses false.
+	AllowMoves bool
+	// MaxSteps bounds the number of greedy steps; 0 means 4*NumNodes.
+	MaxSteps int
+}
+
+// Swap applies the paper's greedy post-scheduling swap algorithm
+// (section 5.2): among all pairs of operations scheduled in the same
+// kernel cycle on the same kind of functional unit in different clusters,
+// repeatedly swap the pair that most reduces the MaxLive-based
+// register-requirement estimate, until no pair improves it.
+//
+// The input schedule is not modified; the returned schedule shares the
+// graph and machine but has fresh Start/FU slices. The second result is
+// the number of swaps (plus moves, if enabled) applied.
+func Swap(s *sched.Schedule, opts SwapOptions) (*sched.Schedule, int) {
+	out := &sched.Schedule{
+		Graph: s.Graph,
+		Mach:  s.Mach,
+		II:    s.II,
+		Start: append([]int(nil), s.Start...),
+		FU:    append([]int(nil), s.FU...),
+	}
+	if s.Mach.NumClusters() < 2 {
+		return out, 0
+	}
+	lts := lifetime.Compute(out)
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 4 * s.Graph.NumNodes()
+	}
+
+	steps := 0
+	for ; steps < maxSteps; steps++ {
+		cur := Classify(out, lts).MaxLiveEstimate()
+		bestGain := 0
+		bestA, bestB, bestUnit := -1, -1, -1
+		tryCandidate := func(a, b, unit int) {
+			orig := out.FU[a]
+			applyMove(out, a, b, unit)
+			est := Classify(out, lts).MaxLiveEstimate()
+			if b >= 0 {
+				out.FU[a], out.FU[b] = out.FU[b], out.FU[a]
+			} else {
+				out.FU[a] = orig
+			}
+			if gain := cur - est; gain > bestGain {
+				bestGain, bestA, bestB, bestUnit = gain, a, b, unit
+			}
+		}
+		for _, pair := range swapPairs(out) {
+			tryCandidate(pair[0], pair[1], -1)
+		}
+		if opts.AllowMoves {
+			for _, mv := range freeMoves(out) {
+				tryCandidate(mv[0], -1, mv[1])
+			}
+		}
+		if bestGain <= 0 {
+			break
+		}
+		applyMove(out, bestA, bestB, bestUnit)
+	}
+	return out, steps
+}
+
+// applyMove swaps units of a and b (b >= 0), or moves a to the given
+// unit (b < 0).
+func applyMove(s *sched.Schedule, a, b, unit int) {
+	if b >= 0 {
+		s.FU[a], s.FU[b] = s.FU[b], s.FU[a]
+	} else {
+		s.FU[a] = unit
+	}
+}
+
+// swapPairs enumerates candidate pairs: same kernel row, same unit kind,
+// different clusters.
+func swapPairs(s *sched.Schedule) [][2]int {
+	n := s.Graph.NumNodes()
+	var pairs [][2]int
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if s.Slot(a) != s.Slot(b) {
+				continue
+			}
+			if s.Graph.Node(a).Op.FUKind() != s.Graph.Node(b).Op.FUKind() {
+				continue
+			}
+			if s.Cluster(a) == s.Cluster(b) {
+				continue
+			}
+			pairs = append(pairs, [2]int{a, b})
+		}
+	}
+	return pairs
+}
+
+// freeMoves enumerates (node, free unit) candidates for the AllowMoves
+// extension: a different-cluster unit of the node's kind that is idle in
+// the node's kernel row.
+func freeMoves(s *sched.Schedule) [][2]int {
+	occupied := map[[2]int]bool{}
+	for id := range s.FU {
+		occupied[[2]int{s.FU[id], s.Slot(id)}] = true
+	}
+	var moves [][2]int
+	for id := range s.FU {
+		kind := s.Graph.Node(id).Op.FUKind()
+		for _, u := range s.Mach.UnitsOfKind(kind) {
+			if s.Mach.Unit(u).Cluster == s.Cluster(id) {
+				continue
+			}
+			if !occupied[[2]int{u, s.Slot(id)}] {
+				moves = append(moves, [2]int{id, u})
+			}
+		}
+	}
+	return moves
+}

@@ -1,0 +1,401 @@
+package ddg
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ncdrf/internal/machine"
+)
+
+func buildChain(t *testing.T) *Graph {
+	t.Helper()
+	g := New("chain", 10)
+	l := g.AddNode(LOAD, "L1")
+	m := g.AddNode(FMUL, "M2")
+	a := g.AddNode(FADD, "A3")
+	s := g.AddNode(STORE, "S4")
+	g.Flow(l, m)
+	g.Flow(m, a)
+	g.Flow(a, s)
+	return g
+}
+
+func TestAddNodeAndLookups(t *testing.T) {
+	g := buildChain(t)
+	if g.NumNodes() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if n := g.NodeByName("M2"); n == nil || n.Op != FMUL {
+		t.Fatalf("NodeByName(M2) = %v", n)
+	}
+	if n := g.NodeByName("missing"); n != nil {
+		t.Fatalf("NodeByName(missing) = %v, want nil", n)
+	}
+	if got := g.Node(0).String(); got != "L1:load" {
+		t.Fatalf("Node(0).String() = %q", got)
+	}
+	if g.CountOps(LOAD) != 1 || g.CountOps(STORE) != 1 || g.CountOps(FMUL) != 1 {
+		t.Fatal("CountOps wrong")
+	}
+	if g.MemOps() != 2 {
+		t.Fatalf("MemOps = %d, want 2", g.MemOps())
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate name")
+		}
+	}()
+	g := New("dup", 1)
+	g.AddNode(FADD, "A")
+	g.AddNode(FMUL, "A")
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New("v", 1)
+	s := g.AddNode(STORE, "S")
+	a := g.AddNode(FADD, "A")
+	l := g.AddNode(LOAD, "L")
+
+	if err := g.AddEdge(Edge{From: s, To: a, Kind: Flow}); err == nil {
+		t.Fatal("flow edge from store must be rejected")
+	}
+	if err := g.AddEdge(Edge{From: a, To: s, Kind: Flow}); err != nil {
+		t.Fatalf("flow into store should be fine: %v", err)
+	}
+	if err := g.AddEdge(Edge{From: a, To: l, Kind: Mem}); err == nil {
+		t.Fatal("mem edge from non-memory op must be rejected")
+	}
+	if err := g.AddEdge(Edge{From: s, To: l, Kind: Mem, Distance: 1}); err != nil {
+		t.Fatalf("store->load mem edge should be fine: %v", err)
+	}
+	if err := g.AddEdge(Edge{From: a, To: 99, Kind: Flow}); err == nil {
+		t.Fatal("edge to missing node must be rejected")
+	}
+	if err := g.AddEdge(Edge{From: a, To: s, Kind: Flow, Distance: -1}); err == nil {
+		t.Fatal("negative distance must be rejected")
+	}
+}
+
+func TestConsumersDeduplicated(t *testing.T) {
+	g := New("c", 1)
+	a := g.AddNode(FADD, "A")
+	b := g.AddNode(FMUL, "B")
+	c := g.AddNode(FMUL, "C")
+	g.Flow(a, b)
+	g.Flow(a, b) // same consumer twice (two operands)
+	g.FlowD(a, c, 1)
+	got := g.Consumers(a)
+	if len(got) != 2 || got[0] != b || got[1] != c {
+		t.Fatalf("Consumers = %v", got)
+	}
+}
+
+func TestValidateRejectsZeroDistanceCycle(t *testing.T) {
+	g := New("cyc", 1)
+	a := g.AddNode(FADD, "A")
+	b := g.AddNode(FMUL, "B")
+	g.Flow(a, b)
+	g.Flow(b, a)
+	if err := g.Validate(); err == nil {
+		t.Fatal("zero-distance cycle must fail validation")
+	}
+	// With distance 1 on the back edge it becomes a legal recurrence.
+	g2 := New("rec", 1)
+	a2 := g2.AddNode(FADD, "A")
+	b2 := g2.AddNode(FMUL, "B")
+	g2.Flow(a2, b2)
+	g2.FlowD(b2, a2, 1)
+	if err := g2.Validate(); err != nil {
+		t.Fatalf("legal recurrence rejected: %v", err)
+	}
+}
+
+func TestValidateEmptyGraph(t *testing.T) {
+	if err := New("empty", 1).Validate(); err == nil {
+		t.Fatal("empty graph must fail validation")
+	}
+}
+
+func TestTopoOrderRespectsZeroDistanceEdges(t *testing.T) {
+	g := buildChain(t)
+	g.FlowD(3-1, 0, 2) // loop-carried back edge must not break ordering
+	order := g.TopoOrder()
+	if len(order) != g.NumNodes() {
+		t.Fatalf("topo order has %d nodes, want %d", len(order), g.NumNodes())
+	}
+	pos := make(map[int]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range g.Edges() {
+		if e.Distance == 0 && pos[e.From] >= pos[e.To] {
+			t.Fatalf("edge %v violated by topo order %v", e, order)
+		}
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	g := New("scc", 1)
+	a := g.AddNode(FADD, "A")
+	b := g.AddNode(FMUL, "B")
+	c := g.AddNode(FADD, "C")
+	d := g.AddNode(LOAD, "D")
+	g.Flow(a, b)
+	g.FlowD(b, a, 1) // {A,B} is one SCC
+	g.Flow(b, c)
+	g.Flow(d, a)
+	comps := g.SCCs()
+	if len(comps) != 3 {
+		t.Fatalf("SCCs = %v, want 3 components", comps)
+	}
+	var sizes []int
+	for _, comp := range comps {
+		sizes = append(sizes, len(comp))
+	}
+	total := 0
+	foundPair := false
+	for i, comp := range comps {
+		total += len(comp)
+		if len(comp) == 2 {
+			foundPair = true
+			if comp[0] != a || comp[1] != b {
+				t.Fatalf("pair component = %v, want [A B]", comp)
+			}
+		}
+		_ = i
+	}
+	if total != 4 || !foundPair {
+		t.Fatalf("components %v sizes %v", comps, sizes)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := buildChain(t)
+	g.Node(0).Sym = "x"
+	c := g.Clone()
+	if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() {
+		t.Fatal("clone size mismatch")
+	}
+	c.AddNode(FADD, "extra")
+	c.Node(0).Sym = "y"
+	if g.NumNodes() != 4 || g.Node(0).Sym != "x" {
+		t.Fatal("mutating clone affected original")
+	}
+	if c.NodeByName("L1") == nil {
+		t.Fatal("clone lost name index")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := buildChain(t)
+	g.Node(0).Sym = "x"
+	g.MustAddEdge(Edge{From: 3, To: 0, Kind: Mem, Distance: 1})
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v\ninput:\n%s", err, buf.String())
+	}
+	if back.LoopName != g.LoopName || back.Trips != g.Trips {
+		t.Fatalf("header mismatch: %s/%d", back.LoopName, back.Trips)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatal("shape mismatch after round trip")
+	}
+	if back.Node(0).Sym != "x" {
+		t.Fatal("sym lost in round trip")
+	}
+	for i, e := range back.Edges() {
+		if e != g.Edge(i) {
+			t.Fatalf("edge %d mismatch: %v vs %v", i, e, g.Edge(i))
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"node A fadd",
+		"loop x trips z",
+		"loop x trips 1\nnode A bogus",
+		"loop x trips 1\nnode A fadd\nnode A fadd",
+		"loop x trips 1\nnode A fadd\nedge A B flow 0",
+		"loop x trips 1\nnode A fadd\nnode B fmul\nedge A B weird 0",
+		"loop x trips 1\nnode A fadd\nnode B fmul\nedge A B flow x",
+		"loop x trips 1\nwhat A",
+		"edge A B flow 0",
+	}
+	for i, in := range bad {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d: Decode(%q) succeeded, want error", i, in)
+		}
+	}
+}
+
+func TestDecodeSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\nloop l trips 5\n# another\nnode A fadd\n\nnode B store\nedge A B flow 0\n"
+	g, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 || g.Trips != 5 {
+		t.Fatalf("decoded %v", g)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := buildChain(t)
+	g.MustAddEdge(Edge{From: 3, To: 0, Kind: Mem, Distance: 1})
+	var buf bytes.Buffer
+	if err := g.DOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "\"L1\"", "style=dashed", "d=1", "style=solid"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOpCodeProperties(t *testing.T) {
+	if FADD.FUKind() != machine.Adder || FSUB.FUKind() != machine.Adder || CONV.FUKind() != machine.Adder {
+		t.Fatal("adder ops misrouted")
+	}
+	if FMUL.FUKind() != machine.Multiplier || FDIV.FUKind() != machine.Multiplier {
+		t.Fatal("multiplier ops misrouted")
+	}
+	if LOAD.FUKind() != machine.MemPort || STORE.FUKind() != machine.MemPort {
+		t.Fatal("memory ops misrouted")
+	}
+	if STORE.ProducesValue() {
+		t.Fatal("store must not produce a value")
+	}
+	if !LOAD.ProducesValue() || !FADD.ProducesValue() {
+		t.Fatal("load/fadd must produce values")
+	}
+	for op := OpCode(0); op < numOpCodes; op++ {
+		back, err := ParseOpCode(op.String())
+		if err != nil || back != op {
+			t.Fatalf("ParseOpCode(%q) = %v, %v", op.String(), back, err)
+		}
+	}
+	if _, err := ParseOpCode("nope"); err == nil {
+		t.Fatal("ParseOpCode must reject unknown mnemonics")
+	}
+	if OpCode(-1).Valid() || OpCode(99).Valid() {
+		t.Fatal("Valid() wrong for out-of-range opcodes")
+	}
+}
+
+// randomDAG builds a random acyclic distance-0 graph, optionally with
+// loop-carried back edges, for property tests.
+func randomDAG(r *rand.Rand, n int) *Graph {
+	g := New("rand", 1)
+	ops := []OpCode{FADD, FSUB, FMUL, FDIV, LOAD, CONV}
+	for i := 0; i < n; i++ {
+		g.AddNode(ops[r.Intn(len(ops))], "")
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Intn(4) == 0 {
+				g.Flow(i, j) // forward edges only: acyclic at distance 0
+			}
+		}
+	}
+	// A few loop-carried back edges.
+	for k := 0; k < n/3; k++ {
+		from := r.Intn(n)
+		to := r.Intn(n)
+		g.FlowD(from, to, 1+r.Intn(2))
+	}
+	return g
+}
+
+func TestPropertyTopoOrderAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 2+r.Intn(20))
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		order := g.TopoOrder()
+		if len(order) != g.NumNodes() {
+			return false
+		}
+		pos := make([]int, g.NumNodes())
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, e := range g.Edges() {
+			if e.Distance == 0 && pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySCCPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 2+r.Intn(15))
+		comps := g.SCCs()
+		seen := map[int]int{}
+		for ci, comp := range comps {
+			for _, id := range comp {
+				if _, dup := seen[id]; dup {
+					return false // node in two components
+				}
+				seen[id] = ci
+			}
+		}
+		return len(seen) == g.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEncodeDecodeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 2+r.Intn(12))
+		var buf bytes.Buffer
+		if err := g.Encode(&buf); err != nil {
+			return false
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for i := range g.Nodes() {
+			if back.Node(i).Op != g.Node(i).Op {
+				return false
+			}
+		}
+		for i, e := range back.Edges() {
+			if e != g.Edge(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

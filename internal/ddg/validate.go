@@ -1,0 +1,210 @@
+package ddg
+
+import (
+	"fmt"
+)
+
+// Validate checks structural invariants that every loop DDG must satisfy
+// before scheduling:
+//
+//   - every flow edge originates at a value-producing node;
+//   - the distance-0 subgraph is acyclic (a dependence cycle entirely
+//     within one iteration is unsatisfiable);
+//   - every value consumed is produced (guaranteed by construction) and
+//     every non-store node that feeds nothing is still legal (dead values
+//     are allowed: they hold a value live for just their producer's
+//     execution).
+func (g *Graph) Validate() error {
+	if len(g.nodes) == 0 {
+		return fmt.Errorf("ddg %q: empty graph", g.LoopName)
+	}
+	for _, e := range g.edges {
+		if e.Kind == Flow && !g.nodes[e.From].Op.ProducesValue() {
+			return fmt.Errorf("ddg %q: flow edge from store %s", g.LoopName, g.nodes[e.From])
+		}
+	}
+	if cyc := g.zeroDistanceCycle(); cyc != nil {
+		return fmt.Errorf("ddg %q: zero-distance dependence cycle through node %s",
+			g.LoopName, g.nodes[cyc[0]])
+	}
+	return nil
+}
+
+// zeroDistanceCycle returns a node list on a cycle of the distance-0
+// subgraph, or nil if that subgraph is acyclic.
+func (g *Graph) zeroDistanceCycle() []int {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(g.nodes))
+	var stack []int
+	var dfs func(u int) []int
+	dfs = func(u int) []int {
+		color[u] = grey
+		stack = append(stack, u)
+		for _, ei := range g.out[u] {
+			e := g.edges[ei]
+			if e.Distance != 0 {
+				continue
+			}
+			switch color[e.To] {
+			case grey:
+				return append([]int(nil), stack...)
+			case white:
+				if c := dfs(e.To); c != nil {
+					return c
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[u] = black
+		return nil
+	}
+	for u := range g.nodes {
+		if color[u] == white {
+			if c := dfs(u); c != nil {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// TopoOrder returns a topological order of the distance-0 subgraph. Nodes
+// on loop-carried cycles are still ordered consistently because only
+// distance-0 edges constrain the order. Validate must have succeeded.
+func (g *Graph) TopoOrder() []int {
+	indeg := make([]int, len(g.nodes))
+	for _, e := range g.edges {
+		if e.Distance == 0 {
+			indeg[e.To]++
+		}
+	}
+	// Deterministic Kahn: a sorted worklist keyed by node ID.
+	var ready []int
+	for id := range g.nodes {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	order := make([]int, 0, len(g.nodes))
+	for len(ready) > 0 {
+		// Pop the smallest ID for determinism.
+		min := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] < ready[min] {
+				min = i
+			}
+		}
+		u := ready[min]
+		ready = append(ready[:min], ready[min+1:]...)
+		order = append(order, u)
+		for _, ei := range g.out[u] {
+			e := g.edges[ei]
+			if e.Distance != 0 {
+				continue
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				ready = append(ready, e.To)
+			}
+		}
+	}
+	return order
+}
+
+// SCCs returns the strongly connected components of the full graph
+// (including loop-carried edges), each as a sorted list of node IDs,
+// ordered by their smallest member. Components of size 1 without a
+// self-edge are trivial but still returned.
+func (g *Graph) SCCs() [][]int {
+	n := len(g.nodes)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	counter := 0
+
+	// Iterative Tarjan to avoid deep recursion on large synthetic loops.
+	type frame struct {
+		v, ei int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		frames := []frame{{v: start}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(g.out[f.v]) {
+				e := g.edges[g.out[f.v][f.ei]]
+				f.ei++
+				w := e.To
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Finished v.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sortInts(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+	// Order components by smallest member for determinism.
+	sortCompsByFirst(comps)
+	return comps
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+func sortCompsByFirst(comps [][]int) {
+	for i := 1; i < len(comps); i++ {
+		for j := i; j > 0 && comps[j-1][0] > comps[j][0]; j-- {
+			comps[j-1], comps[j] = comps[j], comps[j-1]
+		}
+	}
+}

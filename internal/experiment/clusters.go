@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"ncdrf/internal/core"
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/lifetime"
+	"ncdrf/internal/machine"
+	"ncdrf/internal/report"
+	"ncdrf/internal/sched"
+)
+
+// ClusterScalingRow is one machine width in the cluster-scaling
+// extension study.
+type ClusterScalingRow struct {
+	Clusters int
+	AvgII    float64
+	// AvgRegs[model] is the mean per-(sub)file register requirement.
+	AvgRegs [core.NumModels]float64
+}
+
+// ClusterScalingResult is the full extension table.
+type ClusterScalingResult struct {
+	Latency int
+	Rows    []ClusterScalingRow
+}
+
+// EvalN builds an n-cluster machine of {1 adder, 1 multiplier, 1 memory
+// port} per cluster — the evaluation machine generalized beyond the
+// paper's two clusters, for the future-work direction of section 6
+// (the organization "could be applied to other processor
+// implementations").
+func EvalN(n, lat int) *machine.Config {
+	specs := make([]machine.ClusterSpec, n)
+	for i := range specs {
+		specs[i] = machine.ClusterSpec{Adders: 1, Multipliers: 1, MemPorts: 1}
+	}
+	return machine.MustNew(fmt.Sprintf("eval%dc-L%d", n, lat), specs, lat, lat, 1)
+}
+
+// ClusterScaling evaluates the register-file models while the machine
+// widens from one to several clusters: more clusters mean more
+// parallelism (lower II) but also more cross-cluster consumers, testing
+// how far the non-consistent organization's advantage extends.
+func ClusterScaling(corpus []*ddg.Graph, lat int, clusterCounts []int) (*ClusterScalingResult, error) {
+	if len(clusterCounts) == 0 {
+		clusterCounts = []int{1, 2, 4}
+	}
+	res := &ClusterScalingResult{Latency: lat}
+	for _, nc := range clusterCounts {
+		m := EvalN(nc, lat)
+		row := ClusterScalingRow{Clusters: nc}
+		type acc struct {
+			ii   int
+			regs [core.NumModels]int
+		}
+		accs := make([]acc, len(corpus))
+		err := forEach(len(corpus), func(i int) error {
+			g := corpus[i]
+			s, err := sched.Run(g, m, sched.Options{})
+			if err != nil {
+				return fmt.Errorf("%s on %s: %w", g.LoopName, m.Name(), err)
+			}
+			lts := lifetime.Compute(s)
+			a := acc{ii: s.II}
+			for _, model := range core.Models {
+				req, _, err := core.Requirement(model, s, lts)
+				if err != nil {
+					return err
+				}
+				a.regs[model] = req
+			}
+			accs[i] = a
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		n := float64(len(corpus))
+		for _, a := range accs {
+			row.AvgII += float64(a.ii) / n
+			for _, model := range core.Models {
+				row.AvgRegs[model] += float64(a.regs[model]) / n
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render writes the extension table.
+func (c *ClusterScalingResult) Render(w io.Writer) error {
+	tb := &report.Table{
+		Title: fmt.Sprintf("Extension: cluster scaling at latency %d (mean per-subfile registers)", c.Latency),
+		Headers: []string{"clusters", "avg II", "unified", "partitioned", "swapped",
+			"partitioned/unified"},
+	}
+	for _, row := range c.Rows {
+		ratio := 0.0
+		if row.AvgRegs[core.Unified] > 0 {
+			ratio = row.AvgRegs[core.Partitioned] / row.AvgRegs[core.Unified]
+		}
+		tb.Add(fmt.Sprintf("%d", row.Clusters),
+			report.F2(row.AvgII),
+			report.F2(row.AvgRegs[core.Unified]),
+			report.F2(row.AvgRegs[core.Partitioned]),
+			report.F2(row.AvgRegs[core.Swapped]),
+			report.F2(ratio))
+	}
+	return tb.Render(w)
+}

@@ -1,0 +1,192 @@
+// Package experiment wires the substrates into the paper's evaluation
+// pipeline (schedule -> classify -> swap -> allocate -> spill) and
+// implements one runner per table/figure of the paper: Table 1 and
+// Figures 6, 7, 8 and 9.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ncdrf/internal/core"
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/lifetime"
+	"ncdrf/internal/loopgen"
+	"ncdrf/internal/loops"
+	"ncdrf/internal/machine"
+	"ncdrf/internal/perf"
+	"ncdrf/internal/sched"
+	"ncdrf/internal/spill"
+	"ncdrf/internal/vm"
+)
+
+// Corpus assembles the evaluation workload: the curated kernels plus the
+// synthetic Perfect-Club-shaped corpus.
+func Corpus(p loopgen.Params) []*ddg.Graph {
+	out := loops.Kernels()
+	out = append(out, loopgen.Generate(p)...)
+	return out
+}
+
+// DefaultCorpus returns the corpus with the calibrated defaults.
+func DefaultCorpus() []*ddg.Graph { return Corpus(loopgen.Defaults()) }
+
+// Requirements holds the unlimited-register requirement of one loop under
+// every model, plus the scheduling facts shared by all models.
+type Requirements struct {
+	Name  string
+	Trips int64
+	II    int
+	Ops   int
+	Regs  [core.NumModels]int
+}
+
+// RegisterSweep schedules every loop once (registers unlimited) and
+// computes the register requirement under each model. This produces the
+// data behind Figures 6 and 7.
+func RegisterSweep(corpus []*ddg.Graph, m *machine.Config) ([]Requirements, error) {
+	out := make([]Requirements, len(corpus))
+	err := forEach(len(corpus), func(i int) error {
+		g := corpus[i]
+		s, err := sched.Run(g, m, sched.Options{})
+		if err != nil {
+			return fmt.Errorf("%s: %w", g.LoopName, err)
+		}
+		lts := lifetime.Compute(s)
+		r := Requirements{Name: g.LoopName, Trips: g.TripsOrOne(), II: s.II, Ops: g.NumNodes()}
+		for _, model := range core.Models {
+			req, _, err := core.Requirement(model, s, lts)
+			if err != nil {
+				return fmt.Errorf("%s/%v: %w", g.LoopName, model, err)
+			}
+			r.Regs[model] = req
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CompileLoop runs the full limited-register pipeline for one loop under
+// one model: spill until the allocation fits, then report the run.
+func CompileLoop(g *ddg.Graph, m *machine.Config, model core.Model, regs int) (perf.LoopRun, error) {
+	limit := regs
+	if model == core.Ideal {
+		limit = 0
+	}
+	res, err := spill.Run(g, m, limit, core.Fit(model), sched.Options{})
+	if err != nil {
+		return perf.LoopRun{}, fmt.Errorf("%s/%v: %w", g.LoopName, model, err)
+	}
+	return perf.LoopRun{
+		Name:    g.LoopName,
+		Trips:   g.TripsOrOne(),
+		II:      res.Sched.II,
+		MemOps:  res.MemOps(),
+		Spilled: res.SpilledValues,
+	}, nil
+}
+
+// ModelRuns compiles the whole corpus under one model with the given
+// register-file size.
+func ModelRuns(corpus []*ddg.Graph, m *machine.Config, model core.Model, regs int) ([]perf.LoopRun, error) {
+	out := make([]perf.LoopRun, len(corpus))
+	err := forEach(len(corpus), func(i int) error {
+		run, err := CompileLoop(corpus[i], m, model, regs)
+		if err != nil {
+			return err
+		}
+		out[i] = run
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// VerifySample functionally verifies a sample of the corpus: every
+// stride-th loop is compiled under every non-ideal model and executed on
+// the simulated rotating register files, checking the store stream
+// bit-for-bit against the sequential reference. It returns the number of
+// loop/model combinations verified.
+func VerifySample(corpus []*ddg.Graph, m *machine.Config, regs, iters, stride int) (int, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	var sample []*ddg.Graph
+	for i := 0; i < len(corpus); i += stride {
+		sample = append(sample, corpus[i])
+	}
+	models := []core.Model{core.Unified, core.Partitioned, core.Swapped}
+	count := len(sample) * len(models)
+	err := forEach(len(sample), func(i int) error {
+		for _, model := range models {
+			if err := vm.VerifyModel(sample[i], m, model, regs, iters); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return count, nil
+}
+
+// forEach runs fn(i) for i in [0,n) on a bounded worker pool and returns
+// the first error.
+func forEach(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		err  error
+		next int
+	)
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil || next >= n {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	fail := func(e error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err == nil {
+			err = e
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				if e := fn(i); e != nil {
+					fail(e)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return err
+}

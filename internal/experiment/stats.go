@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/report"
+)
+
+// CorpusStats summarizes a workload: size and operation mix, the
+// single-use property of section 3.3 (most register instances are read
+// exactly once — the premise that makes most values cluster-local), and
+// recurrence density.
+type CorpusStats struct {
+	Loops int
+	// Operation mix.
+	Ops, Loads, Stores, Arith int
+	// Value read counts (flow out-edges per value-producing node).
+	Values, SingleUse, MultiUse, Dead int
+	// RecurrentLoops counts loops with at least one loop-carried edge.
+	RecurrentLoops int
+	// Size percentiles (operations per loop).
+	SizeP50, SizeP90, SizeMax int
+	// Trip-count percentiles.
+	TripsP50, TripsP90 int64
+}
+
+// SingleUseFrac returns the fraction of consumed values read exactly
+// once.
+func (s *CorpusStats) SingleUseFrac() float64 {
+	consumed := s.SingleUse + s.MultiUse
+	if consumed == 0 {
+		return 0
+	}
+	return float64(s.SingleUse) / float64(consumed)
+}
+
+// Stats computes corpus statistics.
+func Stats(corpus []*ddg.Graph) *CorpusStats {
+	st := &CorpusStats{Loops: len(corpus)}
+	var sizes []int
+	var trips []int64
+	for _, g := range corpus {
+		sizes = append(sizes, g.NumNodes())
+		trips = append(trips, g.TripsOrOne())
+		recurrent := false
+		for _, e := range g.Edges() {
+			if e.Distance > 0 {
+				recurrent = true
+				break
+			}
+		}
+		if recurrent {
+			st.RecurrentLoops++
+		}
+		for _, n := range g.Nodes() {
+			st.Ops++
+			switch {
+			case n.Op == ddg.LOAD:
+				st.Loads++
+			case n.Op == ddg.STORE:
+				st.Stores++
+			default:
+				st.Arith++
+			}
+			if !n.Op.ProducesValue() {
+				continue
+			}
+			st.Values++
+			reads := 0
+			for _, e := range g.OutEdges(n.ID) {
+				if e.Kind == ddg.Flow {
+					reads++
+				}
+			}
+			switch {
+			case reads == 0:
+				st.Dead++
+			case reads == 1:
+				st.SingleUse++
+			default:
+				st.MultiUse++
+			}
+		}
+	}
+	sort.Ints(sizes)
+	sort.Slice(trips, func(i, j int) bool { return trips[i] < trips[j] })
+	if len(sizes) > 0 {
+		st.SizeP50 = sizes[len(sizes)/2]
+		st.SizeP90 = sizes[len(sizes)*9/10]
+		st.SizeMax = sizes[len(sizes)-1]
+		st.TripsP50 = trips[len(trips)/2]
+		st.TripsP90 = trips[len(trips)*9/10]
+	}
+	return st
+}
+
+// Render writes the statistics table.
+func (s *CorpusStats) Render(w io.Writer) error {
+	tb := &report.Table{
+		Title:   "Corpus statistics",
+		Headers: []string{"metric", "value"},
+	}
+	add := func(k, v string) { tb.Add(k, v) }
+	add("loops", fmt.Sprintf("%d", s.Loops))
+	add("operations", fmt.Sprintf("%d", s.Ops))
+	add("  loads", fmt.Sprintf("%d (%.1f%%)", s.Loads, 100*float64(s.Loads)/float64(s.Ops)))
+	add("  stores", fmt.Sprintf("%d (%.1f%%)", s.Stores, 100*float64(s.Stores)/float64(s.Ops)))
+	add("  arithmetic", fmt.Sprintf("%d (%.1f%%)", s.Arith, 100*float64(s.Arith)/float64(s.Ops)))
+	add("values", fmt.Sprintf("%d", s.Values))
+	add("  read exactly once", fmt.Sprintf("%d (%.1f%% of consumed)", s.SingleUse, 100*s.SingleUseFrac()))
+	add("  read more than once", fmt.Sprintf("%d", s.MultiUse))
+	add("  never read in loop", fmt.Sprintf("%d", s.Dead))
+	add("loops with recurrences", fmt.Sprintf("%d (%.1f%%)", s.RecurrentLoops, 100*float64(s.RecurrentLoops)/float64(s.Loops)))
+	add("loop size p50/p90/max", fmt.Sprintf("%d / %d / %d ops", s.SizeP50, s.SizeP90, s.SizeMax))
+	add("trip count p50/p90", fmt.Sprintf("%d / %d", s.TripsP50, s.TripsP90))
+	return tb.Render(w)
+}

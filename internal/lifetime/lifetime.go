@@ -1,0 +1,106 @@
+// Package lifetime computes value lifetimes and live-value statistics of
+// modulo schedules. Following the paper (section 2), the lifetime of a
+// value starts when its producer issues and ends when its last consumer
+// finishes, so that issued operations can always complete across
+// interrupts.
+package lifetime
+
+import (
+	"fmt"
+
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/sched"
+)
+
+// Lifetime is the live range of one loop-variant value in the flat
+// (iteration 0) time frame of a schedule.
+type Lifetime struct {
+	// Node is the producing node's ID.
+	Node int
+	// Start is the producer's issue cycle.
+	Start int
+	// End is the cycle at which the last consumer completes; for values
+	// with no consumer, the producer's own completion.
+	End int
+}
+
+// Len returns the lifetime length in cycles.
+func (l Lifetime) Len() int { return l.End - l.Start }
+
+// String renders "node(start,end)".
+func (l Lifetime) String() string { return fmt.Sprintf("v%d[%d,%d)", l.Node, l.Start, l.End) }
+
+// Compute returns the lifetime of every value-producing operation of the
+// schedule, in node-ID order. Loop-carried consumers (distance d) finish
+// d iterations later, contributing Start + d*II + latency to the end.
+func Compute(s *sched.Schedule) []Lifetime {
+	g := s.Graph
+	var out []Lifetime
+	for _, n := range g.Nodes() {
+		if !n.Op.ProducesValue() {
+			continue
+		}
+		start := s.Start[n.ID]
+		end := start + s.Mach.Latency(n.Op.FUKind())
+		for _, e := range g.OutEdges(n.ID) {
+			if e.Kind != ddg.Flow {
+				continue
+			}
+			finish := s.Start[e.To] + e.Distance*s.II + s.Mach.Latency(g.Node(e.To).Op.FUKind())
+			if finish > end {
+				end = finish
+			}
+		}
+		out = append(out, Lifetime{Node: n.ID, Start: start, End: end})
+	}
+	return out
+}
+
+// SumLen returns the total length of the lifetimes.
+func SumLen(lts []Lifetime) int {
+	sum := 0
+	for _, l := range lts {
+		sum += l.Len()
+	}
+	return sum
+}
+
+// LiveAt returns the number of live value instances at kernel cycle t
+// (0 <= t < II) in the steady state: every iteration contributes a copy
+// of each value shifted by II, so value v is live floor((t-Start)/II) -
+// floor((t-End)/II) times.
+func LiveAt(lts []Lifetime, ii, t int) int {
+	n := 0
+	for _, l := range lts {
+		n += floorDiv(t-l.Start, ii) - floorDiv(t-l.End, ii)
+	}
+	return n
+}
+
+// MaxLive returns the maximum number of simultaneously live value
+// instances over a steady-state kernel iteration. It is a lower bound on
+// the registers required by any allocation.
+func MaxLive(lts []Lifetime, ii int) int {
+	max := 0
+	for t := 0; t < ii; t++ {
+		if v := LiveAt(lts, ii, t); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// AvgLiveBound returns ceil(sum of lifetimes / II), the average-live lower
+// bound on rotating allocation (each value occupies a single wand).
+func AvgLiveBound(lts []Lifetime, ii int) int {
+	sum := SumLen(lts)
+	return (sum + ii - 1) / ii
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

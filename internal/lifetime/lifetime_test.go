@@ -1,0 +1,183 @@
+package lifetime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/loops"
+	"ncdrf/internal/machine"
+	"ncdrf/internal/sched"
+)
+
+func paperSchedule(t *testing.T) *sched.Schedule {
+	t.Helper()
+	s, err := sched.Run(loops.PaperExample(), machine.Example(), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPaperTable2 checks the exact lifetimes of Table 2 of the paper.
+func TestPaperTable2(t *testing.T) {
+	s := paperSchedule(t)
+	lts := Compute(s)
+	want := map[string][3]int{ // start, end, len
+		"L1": {0, 13, 13},
+		"L2": {0, 7, 7},
+		"M3": {1, 7, 6},
+		"A4": {4, 10, 6},
+		"M5": {7, 13, 6},
+		"A6": {10, 14, 4},
+	}
+	if len(lts) != len(want) {
+		t.Fatalf("got %d lifetimes, want %d", len(lts), len(want))
+	}
+	for _, l := range lts {
+		name := s.Graph.Node(l.Node).Name
+		w, ok := want[name]
+		if !ok {
+			t.Fatalf("unexpected lifetime for %s", name)
+		}
+		if l.Start != w[0] || l.End != w[1] || l.Len() != w[2] {
+			t.Errorf("%s: got [%d,%d) len %d, want [%d,%d) len %d",
+				name, l.Start, l.End, l.Len(), w[0], w[1], w[2])
+		}
+	}
+	if sum := SumLen(lts); sum != 42 {
+		t.Fatalf("sum of lifetimes = %d, want 42", sum)
+	}
+}
+
+func TestMaxLiveMatchesSumAtIIOne(t *testing.T) {
+	// With II=1 every value contributes Len() live copies at every
+	// cycle, so MaxLive equals the sum of lifetimes (42 in the paper).
+	s := paperSchedule(t)
+	lts := Compute(s)
+	if got := MaxLive(lts, s.II); got != 42 {
+		t.Fatalf("MaxLive = %d, want 42", got)
+	}
+	if got := AvgLiveBound(lts, s.II); got != 42 {
+		t.Fatalf("AvgLiveBound = %d, want 42", got)
+	}
+}
+
+func TestDeadValueLifetime(t *testing.T) {
+	// A value without consumers lives for its producer's latency.
+	g := ddg.New("dead", 1)
+	g.AddNode(ddg.FMUL, "M")
+	m := machine.Eval(6)
+	s, err := sched.Run(g, m, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lts := Compute(s)
+	if len(lts) != 1 || lts[0].Len() != 6 {
+		t.Fatalf("dead value lifetime = %v, want len 6", lts)
+	}
+}
+
+func TestLoopCarriedConsumerExtendsLifetime(t *testing.T) {
+	// B consumes A's value from 2 iterations earlier: the end must
+	// include 2*II.
+	g := ddg.New("lc", 1)
+	a := g.AddNode(ddg.FADD, "A")
+	b := g.AddNode(ddg.FMUL, "B")
+	g.FlowD(a, b, 2)
+	m := machine.Eval(3)
+	s, err := sched.Run(g, m, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lts := Compute(s)
+	var la Lifetime
+	for _, l := range lts {
+		if l.Node == a {
+			la = l
+		}
+	}
+	wantEnd := s.Start[b] + 2*s.II + 3
+	if la.End != wantEnd {
+		t.Fatalf("A end = %d, want %d", la.End, wantEnd)
+	}
+}
+
+func TestStoreProducesNoLifetime(t *testing.T) {
+	s := paperSchedule(t)
+	lts := Compute(s)
+	for _, l := range lts {
+		if s.Graph.Node(l.Node).Op == ddg.STORE {
+			t.Fatal("store must not produce a lifetime")
+		}
+	}
+}
+
+func TestLiveAtByHand(t *testing.T) {
+	// One value [0,5) at II=2: copies at ...,-2,0,2,... Live copies at
+	// t=0: k in {-2,-1,0} shifted => s+k*2 <= 0 < e+k*2 -> k in {-2,-1,0}
+	// gives starts -4,-2,0 with ends 1,3,5: all live at 0 -> 3 copies.
+	lts := []Lifetime{{Node: 0, Start: 0, End: 5}}
+	if got := LiveAt(lts, 2, 0); got != 3 {
+		t.Fatalf("LiveAt = %d, want 3", got)
+	}
+	if got := LiveAt(lts, 2, 1); got != 2 {
+		t.Fatalf("LiveAt(1) = %d, want 2", got)
+	}
+	if got := MaxLive(lts, 2); got != 3 {
+		t.Fatalf("MaxLive = %d, want 3", got)
+	}
+	if got := AvgLiveBound(lts, 2); got != 3 {
+		t.Fatalf("AvgLiveBound = %d, want 3", got)
+	}
+}
+
+func TestPropertyMaxLiveAtLeastAvg(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ii := 1 + r.Intn(6)
+		var lts []Lifetime
+		for i := 0; i < 1+r.Intn(12); i++ {
+			s := r.Intn(20)
+			lts = append(lts, Lifetime{Node: i, Start: s, End: s + 1 + r.Intn(15)})
+		}
+		return MaxLive(lts, ii) >= AvgLiveBound(lts, ii)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLiveCountShiftInvariant(t *testing.T) {
+	// Steady state is periodic: LiveAt(t) == LiveAt(t+II) for any t.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ii := 1 + r.Intn(5)
+		var lts []Lifetime
+		for i := 0; i < 1+r.Intn(10); i++ {
+			s := r.Intn(30) - 10
+			lts = append(lts, Lifetime{Node: i, Start: s, End: s + 1 + r.Intn(12)})
+		}
+		for t0 := -3; t0 < 8; t0++ {
+			if LiveAt(lts, ii, t0) != LiveAt(lts, ii, t0+ii) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{7, 2, 3}, {-7, 2, -4}, {6, 3, 2}, {-6, 3, -2}, {0, 5, 0}, {-1, 4, -1},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package lir implements the textual loop intermediate representation used
+// to express benchmark loop bodies, and its lowering to data-dependence
+// graphs. It plays the role of the paper's R3000-assembler front end
+// (section 5.1), including the stack-spill elimination pass.
+//
+// Grammar (line oriented, ';' and '#' start comments):
+//
+//	loop <name> trips <n>
+//	invariant <ident> [<ident> ...]
+//	[<label>:] <dest> = <op> <operand> [, <operand>]
+//	[<label>:] <dest> = load <sym>
+//	[<label>:] store <sym>, <operand>
+//	mem <label> <label> <distance>
+//
+// Operands are loop values (optionally suffixed "@d" to reference the
+// definition from d iterations earlier), declared invariants, or numeric
+// literals. Invariants and literals create no dependence edges: the paper
+// allocates loop invariants in the non-rotating general register file and
+// excludes them from the study.
+//
+// Memory symbols beginning with "stack" denote R3000 spill locations; the
+// Eliminate pass removes matched store/load pairs on them, reconnecting
+// the store's producer to the load's consumers, exactly as described in
+// section 5.1 of the paper.
+package lir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a parsed LIR loop.
+type Program struct {
+	// Name is the loop's name from the header.
+	Name string
+	// Trips is the profiled iteration count from the header.
+	Trips int64
+	// Invariants lists declared loop-invariant identifiers.
+	Invariants []string
+	// Stmts are the body statements in source order.
+	Stmts []Stmt
+	// MemDeps are explicit memory ordering dependences.
+	MemDeps []MemDep
+}
+
+// Stmt is one operation statement.
+type Stmt struct {
+	// Label is the optional statement label; when empty the destination
+	// (or a synthesized store label) names the DDG node.
+	Label string
+	// Dest is the defined value name; empty for stores.
+	Dest string
+	// Op is the operation mnemonic, already validated.
+	Op string
+	// Sym is the memory symbol for loads/stores.
+	Sym string
+	// Args are the value operands (not the memory symbol).
+	Args []Operand
+	// Line is the 1-based source line, for diagnostics.
+	Line int
+}
+
+// Operand is a reference appearing as a statement argument.
+type Operand struct {
+	// Ident is the referenced name; empty for literals.
+	Ident string
+	// Dist is the iteration distance from an "@d" suffix.
+	Dist int
+	// Literal is set when the operand is a numeric constant.
+	Literal bool
+	// Text preserves the literal's source spelling.
+	Text string
+}
+
+// String renders the operand in source syntax.
+func (o Operand) String() string {
+	if o.Literal {
+		return o.Text
+	}
+	if o.Dist > 0 {
+		return fmt.Sprintf("%s@%d", o.Ident, o.Dist)
+	}
+	return o.Ident
+}
+
+// MemDep is an explicit memory ordering dependence between two labeled
+// memory statements.
+type MemDep struct {
+	From, To string
+	Distance int
+	Line     int
+}
+
+// NodeName returns the DDG node name a statement will receive.
+func (s Stmt) NodeName(storeIndex int) string {
+	if s.Label != "" {
+		return s.Label
+	}
+	if s.Dest != "" {
+		return s.Dest
+	}
+	return fmt.Sprintf("st%d", storeIndex)
+}
+
+// Format renders the program back to LIR source.
+func (p *Program) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loop %s trips %d\n", p.Name, p.Trips)
+	if len(p.Invariants) > 0 {
+		fmt.Fprintf(&b, "invariant %s\n", strings.Join(p.Invariants, " "))
+	}
+	for _, s := range p.Stmts {
+		if s.Label != "" {
+			fmt.Fprintf(&b, "%s: ", s.Label)
+		}
+		switch {
+		case s.Op == "store":
+			fmt.Fprintf(&b, "store %s, %s\n", s.Sym, s.Args[0])
+		case s.Op == "load":
+			fmt.Fprintf(&b, "%s = load %s\n", s.Dest, s.Sym)
+		default:
+			args := make([]string, len(s.Args))
+			for i, a := range s.Args {
+				args[i] = a.String()
+			}
+			fmt.Fprintf(&b, "%s = %s %s\n", s.Dest, s.Op, strings.Join(args, ", "))
+		}
+	}
+	for _, m := range p.MemDeps {
+		fmt.Fprintf(&b, "mem %s %s %d\n", m.From, m.To, m.Distance)
+	}
+	return b.String()
+}

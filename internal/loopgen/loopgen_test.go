@@ -1,0 +1,144 @@
+package loopgen
+
+import (
+	"testing"
+
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/machine"
+	"ncdrf/internal/sched"
+)
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := Generate(Params{Loops: 25, Seed: 7, RecurrenceProb: 0.3, ShareProb: 0.25})
+	b := Generate(Params{Loops: 25, Seed: 7, RecurrenceProb: 0.3, ShareProb: 0.25})
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i].NumNodes() != b[i].NumNodes() || a[i].NumEdges() != b[i].NumEdges() || a[i].Trips != b[i].Trips {
+			t.Fatalf("loop %d differs between identical seeds", i)
+		}
+	}
+	c := Generate(Params{Loops: 25, Seed: 8, RecurrenceProb: 0.3, ShareProb: 0.25})
+	same := true
+	for i := range a {
+		if a[i].NumNodes() != c[i].NumNodes() || a[i].Trips != c[i].Trips {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestDefaultsShape(t *testing.T) {
+	p := Defaults()
+	if p.Loops != 795 {
+		t.Fatalf("default corpus size = %d, want 795 (as in the paper)", p.Loops)
+	}
+	corpus := Generate(Params{}) // zero params use defaults
+	if len(corpus) != 795 {
+		t.Fatalf("generated %d loops", len(corpus))
+	}
+}
+
+func TestAllValidAndWellFormed(t *testing.T) {
+	corpus := Generate(Params{Loops: 120, Seed: 3, RecurrenceProb: 0.3, ShareProb: 0.25})
+	for _, g := range corpus {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", g.LoopName, err)
+		}
+		if g.Trips < 8 {
+			t.Fatalf("%s: trips = %d", g.LoopName, g.Trips)
+		}
+		if g.NumNodes() < 4 || g.NumNodes() > 60 {
+			t.Fatalf("%s: size %d out of range", g.LoopName, g.NumNodes())
+		}
+		// Stores never produce flow edges.
+		for _, e := range g.Edges() {
+			if e.Kind == ddg.Flow && g.Node(e.From).Op == ddg.STORE {
+				t.Fatalf("%s: flow from store", g.LoopName)
+			}
+		}
+	}
+}
+
+func TestOpMixRoughlyCalibrated(t *testing.T) {
+	corpus := Generate(Params{Loops: 300, Seed: 11, RecurrenceProb: 0.3, ShareProb: 0.25})
+	var loads, stores, arith, total int
+	for _, g := range corpus {
+		for _, n := range g.Nodes() {
+			total++
+			switch {
+			case n.Op == ddg.LOAD:
+				loads++
+			case n.Op == ddg.STORE:
+				stores++
+			default:
+				arith++
+			}
+		}
+	}
+	loadFrac := float64(loads) / float64(total)
+	storeFrac := float64(stores) / float64(total)
+	if loadFrac < 0.20 || loadFrac > 0.45 {
+		t.Fatalf("load fraction = %.2f, want ~0.3", loadFrac)
+	}
+	if storeFrac < 0.04 || storeFrac > 0.20 {
+		t.Fatalf("store fraction = %.2f, want ~0.1", storeFrac)
+	}
+	if arith == 0 {
+		t.Fatal("no arithmetic generated")
+	}
+}
+
+func TestRecurrenceFraction(t *testing.T) {
+	corpus := Generate(Params{Loops: 400, Seed: 5, RecurrenceProb: 0.3, ShareProb: 0.25})
+	withRec := 0
+	for _, g := range corpus {
+		for _, e := range g.Edges() {
+			if e.Distance > 0 {
+				withRec++
+				break
+			}
+		}
+	}
+	frac := float64(withRec) / float64(len(corpus))
+	if frac < 0.15 || frac > 0.45 {
+		t.Fatalf("recurrence fraction = %.2f, want ~0.30", frac)
+	}
+}
+
+func TestAllSchedulable(t *testing.T) {
+	corpus := Generate(Params{Loops: 60, Seed: 21, RecurrenceProb: 0.3, ShareProb: 0.25})
+	for _, g := range corpus {
+		for _, m := range []*machine.Config{machine.Eval(3), machine.Eval(6)} {
+			if _, err := sched.Run(g, m, sched.Options{}); err != nil {
+				t.Fatalf("%s on %s: %v", g.LoopName, m.Name(), err)
+			}
+		}
+	}
+}
+
+func TestTripsBiasTowardLargeLoops(t *testing.T) {
+	corpus := Generate(Params{Loops: 600, Seed: 9, RecurrenceProb: 0.3, ShareProb: 0.25})
+	var smallSum, smallN, largeSum, largeN float64
+	for _, g := range corpus {
+		if g.NumNodes() <= 10 {
+			smallSum += float64(g.Trips)
+			smallN++
+		}
+		if g.NumNodes() >= 24 {
+			largeSum += float64(g.Trips)
+			largeN++
+		}
+	}
+	if smallN == 0 || largeN == 0 {
+		t.Fatal("size mixture degenerate")
+	}
+	if largeSum/largeN <= smallSum/smallN {
+		t.Fatalf("large loops must average more trips: small %.0f vs large %.0f",
+			smallSum/smallN, largeSum/largeN)
+	}
+}

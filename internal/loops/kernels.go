@@ -1,0 +1,567 @@
+package loops
+
+import (
+	"fmt"
+	"sort"
+
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/lir"
+)
+
+// Kernel is one corpus entry: a named LIR source with its trip count
+// baked into the header.
+type Kernel struct {
+	Name string
+	Src  string
+}
+
+// kernelSrcs holds the curated corpus: classic floating-point inner loops
+// (Livermore kernels, BLAS bodies, stencils, recurrences and a few mixed
+// kernels exercising conversions and divisions). All are single basic
+// blocks, as the paper's methodology requires.
+var kernelSrcs = []Kernel{
+	{"lfk1-hydro", `
+loop lfk1-hydro trips 400
+invariant q r t
+z10 = load z
+z11 = load z
+y1  = load y
+m1  = fmul r, z10
+m2  = fmul t, z11
+a1  = fadd m1, m2
+m3  = fmul y1, a1
+a2  = fadd q, m3
+store x, a2
+`},
+	{"lfk2-iccg", `
+loop lfk2-iccg trips 250
+v1 = load v
+x1 = load x
+m1 = fmul v1, r1@1
+r1 = fsub x1, m1
+store x, r1
+`},
+	{"lfk3-inner-product", `
+loop lfk3-inner-product trips 1000
+z1 = load z
+x1 = load x
+m1 = fmul z1, x1
+s1 = fadd s1@1, m1
+`},
+	{"lfk4-banded", `
+loop lfk4-banded trips 300
+invariant scale
+y1 = load y
+x1 = load x
+m1 = fmul y1, scale
+s1 = fsub x1, m1
+m2 = fmul s1, y1
+a1 = fadd acc@1, m2
+acc = fadd a1, x1
+store x, s1
+`},
+	{"lfk5-tridiag", `
+loop lfk5-tridiag trips 500
+z1 = load z
+y1 = load y
+s1 = fsub y1, x1@1
+x1 = fmul z1, s1
+store x, x1
+`},
+	{"lfk6-linear-recurrence", `
+loop lfk6-linear-recurrence trips 200
+b1 = load b
+w1 = fmul b1, w2@1
+w2 = fadd w1, w3@2
+w3 = fadd w2, b1
+store w, w3
+`},
+	{"lfk7-eos", `
+loop lfk7-eos trips 996
+invariant r t q
+u0 = load u
+z0 = load z
+y0 = load y
+u1 = load u
+u2 = load u
+u3 = load u
+u4 = load u
+u5 = load u
+u6 = load u
+m1 = fmul r, y0
+a1 = fadd z0, m1
+m2 = fmul r, a1
+a2 = fadd u0, m2
+m3 = fmul r, u1
+a3 = fadd u2, m3
+m4 = fmul r, a3
+a4 = fadd u3, m4
+m5 = fmul q, u4
+a5 = fadd u5, m5
+m6 = fmul q, a5
+a6 = fadd u6, m6
+m7 = fmul t, a6
+a7 = fadd a4, m7
+m8 = fmul t, a7
+a8 = fadd a2, m8
+store x, a8
+`},
+	{"lfk9-integrate", `
+loop lfk9-integrate trips 100
+invariant c0 c1 c2 c3 c4 c5
+p1 = load px
+p2 = load px
+p3 = load px
+p4 = load px
+p5 = load px
+p6 = load px
+m1 = fmul c0, p1
+m2 = fmul c1, p2
+m3 = fmul c2, p3
+m4 = fmul c3, p4
+m5 = fmul c4, p5
+m6 = fmul c5, p6
+a1 = fadd m1, m2
+a2 = fadd m3, m4
+a3 = fadd m5, m6
+a4 = fadd a1, a2
+a5 = fadd a4, a3
+store px, a5
+`},
+	{"lfk10-diff-predictors", `
+loop lfk10-diff-predictors trips 100
+cx = load cx
+p0 = load px
+d1 = fsub cx, p0
+p1 = load px
+d2 = fsub d1, p1
+p2 = load px
+d3 = fsub d2, p2
+p3 = load px
+d4 = fsub d3, p3
+store px, d1
+store dx, d4
+`},
+	{"lfk11-first-sum", `
+loop lfk11-first-sum trips 1000
+x1 = load x
+s1 = fadd s1@1, x1
+store y, s1
+`},
+	{"lfk12-first-diff", `
+loop lfk12-first-diff trips 1000
+y1 = load y
+y2 = load y
+d1 = fsub y2, y1
+store x, d1
+`},
+	{"daxpy", `
+loop daxpy trips 1000
+invariant a
+x1 = load x
+m1 = fmul a, x1
+y1 = load y
+a1 = fadd m1, y1
+store y, a1
+`},
+	{"dscal", `
+loop dscal trips 800
+invariant a
+x1 = load x
+m1 = fmul a, x1
+store x, m1
+`},
+	{"dcopy-scale2", `
+loop dcopy-scale2 trips 600
+x1 = load x
+m1 = fmul x1, 2.0
+store y, m1
+`},
+	{"drot", `
+loop drot trips 500
+invariant c s
+x1 = load x
+y1 = load y
+m1 = fmul c, x1
+m2 = fmul s, y1
+a1 = fadd m1, m2
+m3 = fmul c, y1
+m4 = fmul s, x1
+s1 = fsub m3, m4
+store x, a1
+store y, s1
+`},
+	{"dgemv-inner", `
+loop dgemv-inner trips 400
+a1 = load a
+x1 = load x
+m1 = fmul a1, x1
+s1 = fadd s1@1, m1
+`},
+	{"dger-update", `
+loop dger-update trips 300
+invariant alpha yj
+a1 = load a
+x1 = load x
+m1 = fmul alpha, x1
+m2 = fmul m1, yj
+a2 = fadd a1, m2
+store a, a2
+`},
+	{"jacobi3", `
+loop jacobi3 trips 700
+invariant third
+x0 = load x
+x1 = load x
+x2 = load x
+a1 = fadd x0, x1
+a2 = fadd a1, x2
+m1 = fmul a2, third
+store y, m1
+`},
+	{"stencil5", `
+loop stencil5 trips 500
+invariant w0 w1 w2
+x0 = load x
+x1 = load x
+x2 = load x
+x3 = load x
+x4 = load x
+m0 = fmul w0, x2
+m1 = fmul w1, x1
+m2 = fmul w1, x3
+m3 = fmul w2, x0
+m4 = fmul w2, x4
+a1 = fadd m1, m2
+a2 = fadd m3, m4
+a3 = fadd a1, a2
+a4 = fadd m0, a3
+store y, a4
+`},
+	{"horner3", `
+loop horner3 trips 900
+invariant c0 c1 c2 c3
+x1 = load x
+m1 = fmul c3, x1
+a1 = fadd m1, c2
+m2 = fmul a1, x1
+a2 = fadd m2, c1
+m3 = fmul a2, x1
+a3 = fadd m3, c0
+store y, a3
+`},
+	{"cmul", `
+loop cmul trips 450
+ar = load ar
+ai = load ai
+br = load br
+bi = load bi
+m1 = fmul ar, br
+m2 = fmul ai, bi
+m3 = fmul ar, bi
+m4 = fmul ai, br
+re = fsub m1, m2
+im = fadd m3, m4
+store cr, re
+store ci, im
+`},
+	{"normalize-div", `
+loop normalize-div trips 350
+x1 = load x
+n1 = load norm
+d1 = fdiv x1, n1
+store y, d1
+`},
+	{"reciprocal-series", `
+loop reciprocal-series trips 220
+invariant one
+x1 = load x
+d1 = fdiv one, x1
+m1 = fmul d1, d1
+a1 = fadd d1, m1
+store y, a1
+`},
+	{"int-to-float-scale", `
+loop int-to-float-scale trips 640
+invariant h
+i1 = load idx
+c1 = conv i1
+m1 = fmul c1, h
+store t, m1
+`},
+	{"mixed-conv-acc", `
+loop mixed-conv-acc trips 380
+i1 = load idx
+c1 = conv i1
+x1 = load x
+m1 = fmul c1, x1
+s1 = fadd s1@1, m1
+store y, s1
+`},
+	{"euler-step", `
+loop euler-step trips 480
+invariant dt
+u1 = load u
+f1 = load f
+m1 = fmul dt, f1
+a1 = fadd u1, m1
+store u, a1
+`},
+	{"leapfrog", `
+loop leapfrog trips 360
+invariant dt half
+v1 = load v
+a1 = load acc
+x1 = load x
+m1 = fmul dt, a1
+v2 = fadd v1, m1
+m2 = fmul half, v2
+m3 = fmul dt, m2
+x2 = fadd x1, m3
+store v, v2
+store x, x2
+`},
+	{"pressure-gradient", `
+loop pressure-gradient trips 410
+invariant idx2
+p0 = load p
+p1 = load p
+p2 = load p
+d1 = fsub p2, p0
+m1 = fmul d1, idx2
+a1 = fadd p1, m1
+store g, a1
+`},
+	{"sum-of-squares", `
+loop sum-of-squares trips 950
+x1 = load x
+m1 = fmul x1, x1
+s1 = fadd s1@1, m1
+`},
+	{"weighted-average3", `
+loop weighted-average3 trips 520
+invariant wa wb wc
+a1 = load a
+b1 = load b
+c1 = load c
+m1 = fmul wa, a1
+m2 = fmul wb, b1
+m3 = fmul wc, c1
+a2 = fadd m1, m2
+a3 = fadd a2, m3
+store o, a3
+`},
+	{"state-update-2", `
+loop state-update-2 trips 330
+invariant k1 k2
+s0 = load s
+u0 = load u
+m1 = fmul k1, p1@1
+m2 = fmul k2, u0
+p1 = fadd s0, m1
+a2 = fadd p1, m2
+store s, a2
+`},
+	{"convolution4", `
+loop convolution4 trips 280
+invariant h0 h1 h2 h3
+x0 = load x
+x1 = load x
+x2 = load x
+x3 = load x
+m0 = fmul h0, x0
+m1 = fmul h1, x1
+m2 = fmul h2, x2
+m3 = fmul h3, x3
+a0 = fadd m0, m1
+a1 = fadd m2, m3
+a2 = fadd a0, a1
+store y, a2
+`},
+	{"rk2-stage", `
+loop rk2-stage trips 240
+invariant dt half
+y1 = load y
+k1 = load k
+m1 = fmul dt, k1
+m2 = fmul half, m1
+a1 = fadd y1, m2
+m3 = fmul dt, a1
+a2 = fadd y1, m3
+store y, a2
+`},
+	{"logistic-map", `
+loop logistic-map trips 150
+invariant rconst one
+x0 = load x
+s1 = fsub one, x0
+m1 = fmul x0, s1
+m2 = fmul rconst, m1
+store x, m2
+`},
+	{"damped-oscillator", `
+loop damped-oscillator trips 260
+invariant damp spring dt
+x0 = load x
+v0 = load v
+m1 = fmul spring, x0
+m2 = fmul damp, v0
+a1 = fadd m1, m2
+m3 = fmul dt, a1
+v1 = fsub v0, m3
+m4 = fmul dt, v1
+x1 = fadd x0, m4
+store x, x1
+store v, v1
+`},
+	{"dot4-unrolled", `
+loop dot4-unrolled trips 250
+a0 = load a
+a1 = load a
+a2 = load a
+a3 = load a
+b0 = load b
+b1 = load b
+b2 = load b
+b3 = load b
+m0 = fmul a0, b0
+m1 = fmul a1, b1
+m2 = fmul a2, b2
+m3 = fmul a3, b3
+s0 = fadd m0, m1
+s1 = fadd m2, m3
+s2 = fadd s0, s1
+acc = fadd acc@1, s2
+`},
+	{"prefix-product", `
+loop prefix-product trips 180
+x1 = load x
+p1 = fmul p1@1, x1
+store y, p1
+`},
+	{"exp-taylor4", `
+loop exp-taylor4 trips 210
+invariant inv2 inv6 inv24 one
+x1 = load x
+x2 = fmul x1, x1
+x3 = fmul x2, x1
+x4 = fmul x3, x1
+t2 = fmul x2, inv2
+t3 = fmul x3, inv6
+t4 = fmul x4, inv24
+a1 = fadd one, x1
+a2 = fadd t2, t3
+a3 = fadd a2, t4
+a4 = fadd a1, a3
+store y, a4
+`},
+	{"saxpy-strided-pair", `
+loop saxpy-strided-pair trips 370
+invariant a
+x0 = load x
+x1 = load x
+y0 = load y
+y1 = load y
+m0 = fmul a, x0
+m1 = fmul a, x1
+s0 = fadd y0, m0
+s1 = fadd y1, m1
+store y, s0
+store y, s1
+`},
+	{"inplace-smooth", `
+loop inplace-smooth trips 430
+invariant half
+L0: c1 = load buf
+a1 = fadd c1, prev@1
+m1 = fmul half, a1
+prev = fadd m1, 0.0
+S0: store buf, m1
+mem S0 L0 1
+`},
+	{"gather-accumulate", `
+loop gather-accumulate trips 190
+idx = load index
+v1 = conv idx
+x1 = load x
+m1 = fmul v1, x1
+s1 = fadd s1@1, m1
+store out, s1
+`},
+	{"division-chain", `
+loop division-chain trips 160
+a1 = load a
+b1 = load b
+d1 = fdiv a1, b1
+d2 = fdiv d1, q1@1
+q1 = fadd d2, b1
+store q, q1
+`},
+	{"big-expression", `
+loop big-expression trips 140
+invariant k0 k1 k2 k3
+x0 = load x
+x1 = load x
+x2 = load x
+x3 = load x
+x4 = load x
+x5 = load x
+m0 = fmul k0, x0
+m1 = fmul k1, x1
+m2 = fmul k2, x2
+m3 = fmul k3, x3
+m4 = fmul x4, x5
+a0 = fadd m0, m1
+a1 = fadd m2, m3
+a2 = fadd a0, a1
+a3 = fadd a2, m4
+m5 = fmul a3, a3
+a4 = fadd a3, m5
+store y, a4
+`},
+	{"triad-pair", `
+loop triad-pair trips 620
+invariant s
+a0 = load a
+b0 = load b
+c0 = load c
+m0 = fmul s, c0
+t0 = fadd b0, m0
+m1 = fmul t0, a0
+store a, m1
+`},
+}
+
+// Kernels compiles the whole curated corpus to dependence graphs. The
+// result is freshly built on every call so callers may mutate the graphs.
+func Kernels() []*ddg.Graph {
+	out := make([]*ddg.Graph, 0, len(kernelSrcs))
+	for _, k := range kernelSrcs {
+		g, err := lir.Compile(k.Src)
+		if err != nil {
+			panic(fmt.Sprintf("loops: kernel %s: %v", k.Name, err))
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// KernelNames returns the sorted names of the curated kernels.
+func KernelNames() []string {
+	names := make([]string, 0, len(kernelSrcs))
+	for _, k := range kernelSrcs {
+		names = append(names, k.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// KernelByName compiles a single kernel, or returns false.
+func KernelByName(name string) (*ddg.Graph, bool) {
+	for _, k := range kernelSrcs {
+		if k.Name == name {
+			return lir.MustCompile(k.Src), true
+		}
+	}
+	return nil, false
+}

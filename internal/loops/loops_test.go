@@ -1,0 +1,101 @@
+package loops
+
+import (
+	"testing"
+
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/lifetime"
+	"ncdrf/internal/machine"
+	"ncdrf/internal/sched"
+)
+
+func TestPaperExampleShape(t *testing.T) {
+	g := PaperExample()
+	if g.NumNodes() != 7 {
+		t.Fatalf("nodes = %d, want 7", g.NumNodes())
+	}
+	if g.CountOps(ddg.LOAD) != 2 || g.CountOps(ddg.STORE) != 1 {
+		t.Fatal("wrong memory op counts")
+	}
+	if g.CountOps(ddg.FMUL) != 2 || g.CountOps(ddg.FADD) != 2 {
+		t.Fatal("wrong arithmetic op counts")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Dependence shape of Figure 2b.
+	l1 := g.NodeByName("L1")
+	cons := g.Consumers(l1.ID)
+	if len(cons) != 2 {
+		t.Fatalf("L1 consumers = %v, want M3 and A6", cons)
+	}
+}
+
+func TestKernelsAllCompileAndValidate(t *testing.T) {
+	ks := Kernels()
+	if len(ks) < 40 {
+		t.Fatalf("corpus has %d kernels, want >= 40", len(ks))
+	}
+	seen := map[string]bool{}
+	for _, g := range ks {
+		if seen[g.LoopName] {
+			t.Fatalf("duplicate kernel name %s", g.LoopName)
+		}
+		seen[g.LoopName] = true
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", g.LoopName, err)
+		}
+		if g.Trips < 1 {
+			t.Fatalf("%s: missing trip count", g.LoopName)
+		}
+	}
+}
+
+func TestKernelsAllSchedulable(t *testing.T) {
+	machines := []*machine.Config{machine.Eval(3), machine.Eval(6), machine.PxLy(1, 3), machine.PxLy(2, 6)}
+	for _, g := range Kernels() {
+		for _, m := range machines {
+			s, err := sched.Run(g, m, sched.Options{})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", g.LoopName, m.Name(), err)
+			}
+			lts := lifetime.Compute(s)
+			for _, l := range lts {
+				if l.Len() <= 0 {
+					t.Fatalf("%s: non-positive lifetime %v", g.LoopName, l)
+				}
+			}
+		}
+	}
+}
+
+func TestKernelByName(t *testing.T) {
+	g, ok := KernelByName("daxpy")
+	if !ok || g.LoopName != "daxpy" {
+		t.Fatal("KernelByName(daxpy) failed")
+	}
+	if _, ok := KernelByName("no-such-kernel"); ok {
+		t.Fatal("unknown kernel must return false")
+	}
+}
+
+func TestKernelNamesSorted(t *testing.T) {
+	names := KernelNames()
+	if len(names) != len(Kernels()) {
+		t.Fatal("name count mismatch")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted/unique at %d: %s >= %s", i, names[i-1], names[i])
+		}
+	}
+}
+
+func TestKernelsAreFreshCopies(t *testing.T) {
+	a := Kernels()
+	b := Kernels()
+	a[0].AddNode(ddg.FADD, "mutation")
+	if b[0].NumNodes() == a[0].NumNodes() {
+		t.Fatal("Kernels() returned shared graphs")
+	}
+}

@@ -1,0 +1,36 @@
+// Package loops provides the loop corpus: the paper's worked example and a
+// curated set of classic floating-point kernels expressed in LIR, each
+// with a representative trip count for dynamic weighting.
+package loops
+
+import (
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/lir"
+)
+
+// PaperExampleSrc is the section 4 example loop of the paper,
+// reconstructed from Figure 2 and Tables 2-4:
+//
+//	DO I=1,N
+//	  y(I) = (x(I)*t + y(I))*r + x(I)
+//	ENDDO
+//
+// Two loads (L1 of x, L2 of y), a multiply M3 (x*t), add A4 (+y),
+// multiply M5 (*r), add A6 (+x) and the store S7. t and r are loop
+// invariants kept in the general register file.
+const PaperExampleSrc = `
+loop paper-example trips 100
+invariant t r
+L1: x  = load x
+L2: y  = load y
+M3: v3 = fmul x, t
+A4: v4 = fadd v3, y
+M5: v5 = fmul v4, r
+A6: v6 = fadd v5, x
+S7: store y, v6
+`
+
+// PaperExample returns a fresh DDG of the section 4 example loop.
+func PaperExample() *ddg.Graph {
+	return lir.MustCompile(PaperExampleSrc)
+}

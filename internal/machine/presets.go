@@ -1,0 +1,73 @@
+package machine
+
+// Presets for every machine configuration that appears in the paper.
+//
+// Table 1 uses configurations named PxLy: x adders of latency y, x
+// multipliers of latency y, one store port and two load ports. The paper
+// treats the three memory ports as a single kind with three units; loads
+// and stores compete for them uniformly in our model, which preserves the
+// resource bound ResMII(mem) = ceil(memops/3).
+//
+// The evaluation machine of section 5.2 has two clusters, each with one
+// adder, one multiplier and one load/store unit, with floating-point
+// latencies of 3 or 6 and memory latency 1.
+//
+// The worked-example machine of section 4 has two clusters, each with one
+// adder, one multiplier and two load/store units, latency 3/3/1.
+
+// PxLy returns the Table 1 configuration with x adders and x multipliers
+// of latency y, plus three memory ports (one store + two loads in the
+// paper), as a single-cluster (unified register file) machine.
+func PxLy(x, y int) *Config {
+	name := "P" + itoa(x) + "L" + itoa(y)
+	return MustNew(name, []ClusterSpec{{Adders: x, Multipliers: x, MemPorts: 3}}, y, y, 1)
+}
+
+// Table1Configs returns the four configurations reported in Table 1 in
+// presentation order: P1L3, P1L6, P2L3, P2L6.
+func Table1Configs() []*Config {
+	return []*Config{PxLy(1, 3), PxLy(1, 6), PxLy(2, 3), PxLy(2, 6)}
+}
+
+// Eval returns the section 5.2 evaluation machine: two clusters of
+// {1 adder, 1 multiplier, 1 load/store unit} with floating-point latency
+// lat (3 or 6 in the paper) and single-cycle memory.
+func Eval(lat int) *Config {
+	name := "eval-L" + itoa(lat)
+	return MustNew(name, []ClusterSpec{
+		{Adders: 1, Multipliers: 1, MemPorts: 1},
+		{Adders: 1, Multipliers: 1, MemPorts: 1},
+	}, lat, lat, 1)
+}
+
+// Example returns the section 4 worked-example machine: two clusters of
+// {1 adder, 1 multiplier, 2 load/store units}, latency 3 for adds and
+// multiplies and 1 for memory.
+func Example() *Config {
+	return MustNew("example", []ClusterSpec{
+		{Adders: 1, Multipliers: 1, MemPorts: 2},
+		{Adders: 1, Multipliers: 1, MemPorts: 2},
+	}, 3, 3, 1)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

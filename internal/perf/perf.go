@@ -1,0 +1,89 @@
+// Package perf aggregates per-loop scheduling outcomes into the metrics
+// the paper's evaluation reports: relative performance (Figure 8) and
+// density of memory traffic (Figure 9).
+//
+// Execution time of a software-pipelined loop is dominated by its steady
+// state: cycles = II * trips (the paper weights loops the same way in
+// section 5.3). The density of memory traffic is the average fraction of
+// the memory-port bandwidth used per cycle.
+package perf
+
+import "fmt"
+
+// LoopRun is the outcome of compiling one loop under one register-file
+// model.
+type LoopRun struct {
+	// Name identifies the loop.
+	Name string
+	// Trips is the loop's profiled iteration count.
+	Trips int64
+	// II is the achieved initiation interval.
+	II int
+	// MemOps is the number of memory operations per iteration, including
+	// spill code.
+	MemOps int
+	// Regs is the register requirement under the model (0 for ideal).
+	Regs int
+	// Spilled is the number of values spilled.
+	Spilled int
+}
+
+// Cycles returns the steady-state execution cycles of the run.
+func (r LoopRun) Cycles() int64 { return int64(r.II) * r.Trips }
+
+// MemAccesses returns the total dynamic memory accesses of the run.
+func (r LoopRun) MemAccesses() int64 { return int64(r.MemOps) * r.Trips }
+
+// TotalCycles sums steady-state cycles over a set of runs.
+func TotalCycles(runs []LoopRun) int64 {
+	var sum int64
+	for _, r := range runs {
+		sum += r.Cycles()
+	}
+	return sum
+}
+
+// TotalMemAccesses sums dynamic memory accesses over a set of runs.
+func TotalMemAccesses(runs []LoopRun) int64 {
+	var sum int64
+	for _, r := range runs {
+		sum += r.MemAccesses()
+	}
+	return sum
+}
+
+// RelPerformance returns the aggregate performance of a model relative
+// to a baseline (usually Ideal): baseline cycles / model cycles, so 1.0
+// means no loss and smaller is worse.
+func RelPerformance(baseline, model []LoopRun) (float64, error) {
+	bc, mc := TotalCycles(baseline), TotalCycles(model)
+	if bc <= 0 || mc <= 0 {
+		return 0, fmt.Errorf("perf: non-positive cycle totals (%d, %d)", bc, mc)
+	}
+	return float64(bc) / float64(mc), nil
+}
+
+// TrafficDensity returns the average fraction of memory-port bandwidth
+// used per cycle across the runs: total accesses / (total cycles *
+// ports). A value of 1.0 saturates the memory ports.
+func TrafficDensity(runs []LoopRun, memPorts int) (float64, error) {
+	if memPorts < 1 {
+		return 0, fmt.Errorf("perf: memPorts = %d", memPorts)
+	}
+	cycles := TotalCycles(runs)
+	if cycles <= 0 {
+		return 0, fmt.Errorf("perf: no cycles")
+	}
+	return float64(TotalMemAccesses(runs)) / (float64(cycles) * float64(memPorts)), nil
+}
+
+// SpilledLoops counts runs that needed spill code.
+func SpilledLoops(runs []LoopRun) int {
+	n := 0
+	for _, r := range runs {
+		if r.Spilled > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,111 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func runs(iis ...int) []LoopRun {
+	out := make([]LoopRun, len(iis))
+	for i, ii := range iis {
+		out[i] = LoopRun{Name: "l", Trips: 100, II: ii, MemOps: 3}
+	}
+	return out
+}
+
+func TestCycles(t *testing.T) {
+	r := LoopRun{Trips: 50, II: 4, MemOps: 3}
+	if r.Cycles() != 200 {
+		t.Fatalf("Cycles = %d", r.Cycles())
+	}
+	if r.MemAccesses() != 150 {
+		t.Fatalf("MemAccesses = %d", r.MemAccesses())
+	}
+}
+
+func TestRelPerformance(t *testing.T) {
+	ideal := runs(1, 2)
+	model := runs(2, 2)
+	got, err := RelPerformance(ideal, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 300.0 / 400.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RelPerformance = %v, want %v", got, want)
+	}
+	if _, err := RelPerformance(nil, model); err == nil {
+		t.Fatal("empty baseline must error")
+	}
+	if _, err := RelPerformance(ideal, nil); err == nil {
+		t.Fatal("empty model must error")
+	}
+}
+
+func TestTrafficDensity(t *testing.T) {
+	// 3 mem ops per iteration, II=2, 2 ports: density = 3/(2*2) = 0.75.
+	rs := []LoopRun{{Trips: 10, II: 2, MemOps: 3}}
+	got, err := TrafficDensity(rs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("density = %v, want 0.75", got)
+	}
+	if _, err := TrafficDensity(rs, 0); err == nil {
+		t.Fatal("0 ports must error")
+	}
+	if _, err := TrafficDensity(nil, 2); err == nil {
+		t.Fatal("no runs must error")
+	}
+}
+
+func TestSpilledLoops(t *testing.T) {
+	rs := []LoopRun{{Spilled: 0}, {Spilled: 2}, {Spilled: 1}}
+	if got := SpilledLoops(rs); got != 2 {
+		t.Fatalf("SpilledLoops = %d, want 2", got)
+	}
+}
+
+func TestPropertyRelPerformanceBounds(t *testing.T) {
+	// If every model II >= the corresponding ideal II, performance <= 1.
+	f := func(seed uint64) bool {
+		base := []LoopRun{
+			{Trips: int64(10 + seed%64), II: 1 + int(seed%3), MemOps: 1},
+			{Trips: 20, II: 2 + int(seed>>2%4), MemOps: 2},
+		}
+		model := make([]LoopRun, len(base))
+		copy(model, base)
+		for i := range model {
+			model[i].II += int(seed >> 4 % 5)
+		}
+		p, err := RelPerformance(base, model)
+		if err != nil {
+			return false
+		}
+		return p <= 1.0+1e-12 && p > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDensityInUnitRangeWhenFeasible(t *testing.T) {
+	// MemOps per iteration can never exceed II*ports in a valid
+	// schedule; densities computed from feasible runs stay in (0, 1].
+	f := func(seed uint64) bool {
+		ports := 1 + int(seed%3)
+		ii := 1 + int(seed>>3%4)
+		mem := 1 + int(seed>>5%uint64(ii*ports))
+		rs := []LoopRun{{Trips: 5, II: ii, MemOps: mem}}
+		d, err := TrafficDensity(rs, ports)
+		if err != nil {
+			return false
+		}
+		return d > 0 && d <= 1.0+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

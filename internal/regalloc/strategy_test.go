@@ -1,0 +1,124 @@
+package regalloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ncdrf/internal/lifetime"
+)
+
+func TestStrategyNames(t *testing.T) {
+	if StrategyFirstFit.String() != "first-fit" ||
+		StrategyBestFit.String() != "best-fit" ||
+		StrategyEndFit.String() != "end-fit" {
+		t.Fatal("strategy names wrong")
+	}
+	if Strategy(99).String() == "" {
+		t.Fatal("unknown strategy must still render")
+	}
+}
+
+func TestAllocateMatchesFirstFit(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		lts, ii := randomLifetimes(r)
+		a, err := FirstFit(lts, ii)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Allocate(lts, ii, StrategyFirstFit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Registers != b.Registers {
+			t.Fatalf("Allocate(first-fit) = %d, FirstFit = %d", b.Registers, a.Registers)
+		}
+	}
+}
+
+func TestAllocateEmptyAndErrors(t *testing.T) {
+	for _, s := range Strategies {
+		a, err := Allocate(nil, 3, s)
+		if err != nil || a.Registers != 0 {
+			t.Fatalf("%v: empty allocation failed: %v", s, err)
+		}
+		if _, err := Allocate(nil, 0, s); err == nil {
+			t.Fatalf("%v: II=0 must fail", s)
+		}
+		bad := []lifetime.Lifetime{{Node: 0, Start: 1, End: 1}}
+		if _, err := Allocate(bad, 2, s); err == nil {
+			t.Fatalf("%v: empty lifetime must fail", s)
+		}
+	}
+}
+
+// Property: every strategy produces valid allocations no smaller than
+// the exact lower bounds.
+func TestPropertyAllStrategiesValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lts, ii := randomLifetimes(r)
+		for _, s := range Strategies {
+			a, err := Allocate(lts, ii, s)
+			if err != nil {
+				return false
+			}
+			if a.Validate(lts) != nil {
+				return false
+			}
+			if a.Registers < lifetime.MaxLive(lts, ii) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The strategies should usually land within a register or two of each
+// other (the paper's observation that all schemes perform similarly for
+// Wands Only); assert a loose aggregate bound rather than pointwise
+// equality.
+func TestStrategiesAgreeOnAggregate(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	totals := map[Strategy]int{}
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		lts, ii := randomLifetimes(r)
+		for _, s := range Strategies {
+			a, err := Allocate(lts, ii, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			totals[s] += a.Registers
+		}
+	}
+	ff := totals[StrategyFirstFit]
+	for _, s := range Strategies[1:] {
+		diff := totals[s] - ff
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.10*float64(ff) {
+			t.Fatalf("%v diverges from first-fit by %d of %d total registers", s, diff, ff)
+		}
+	}
+}
+
+func TestGapBefore(t *testing.T) {
+	if got := gapBefore(nil, 5, 20); got != 20 {
+		t.Fatalf("empty gap = %d", got)
+	}
+	placed := []arc{{start: 0, end: 4}}
+	if got := gapBefore(placed, 6, 20); got != 2 {
+		t.Fatalf("gap = %d, want 2", got)
+	}
+	// Wraparound: arc ends at 18, position 1 -> gap 3.
+	placed = []arc{{start: 10, end: 18}}
+	if got := gapBefore(placed, 1, 20); got != 3 {
+		t.Fatalf("wrap gap = %d, want 3", got)
+	}
+}

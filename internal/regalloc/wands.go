@@ -1,0 +1,179 @@
+// Package regalloc allocates loop-variant values to rotating register
+// files using the exact "wand" model of Rau, Lee, Tirumalai and
+// Schlansker (PLDI'92), with the Wands Only strategy and First Fit
+// ordering chosen by the paper (section 2).
+//
+// Model. With R rotating registers and initiation interval II, a value
+// allocated to specifier q is, for iteration i, held in physical register
+// (q - i) mod R. Unrolling time in the rotating frame, each physical
+// register sees the value occupy the arc [start + q*II, end + q*II)
+// modulo the circle of circumference R*II. Two values collide exactly
+// when their arcs overlap on that circle, independent of the physical
+// register, so allocation reduces to placing one arc per value with the
+// free parameter q in {0..R-1}.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"ncdrf/internal/lifetime"
+)
+
+// Allocation is a successful rotating-file assignment.
+type Allocation struct {
+	// Registers is the number of rotating registers used.
+	Registers int
+	// II is the initiation interval the allocation was computed for.
+	II int
+	// Spec maps each allocated value (by producing node ID) to its
+	// register specifier q.
+	Spec map[int]int
+}
+
+// arc is a placed interval on the allocation circle.
+type arc struct {
+	start, end int // end may exceed the circumference; interpreted mod C
+}
+
+// overlaps reports whether two arcs intersect on a circle of
+// circumference c. Arcs are half-open [start, end).
+func (a arc) overlaps(b arc, c int) bool {
+	// Compare every pair of translates within one period.
+	as, ae := mod(a.start, c), a.end-a.start
+	bs, be := mod(b.start, c), b.end-b.start
+	// a occupies [as, as+ae), b occupies [bs, bs+be) on the line after
+	// normalizing; wrapping handled by also checking the +c translate.
+	return segOverlap(as, as+ae, bs, bs+be) ||
+		segOverlap(as, as+ae, bs+c, bs+c+be) ||
+		segOverlap(as+c, as+c+ae, bs, bs+be)
+}
+
+func segOverlap(a0, a1, b0, b1 int) bool { return a0 < b1 && b0 < a1 }
+
+// FirstFit allocates the lifetimes into the smallest rotating file the
+// First Fit heuristic can manage, searching the file size upward from the
+// average-live lower bound. An error is returned only for invalid input
+// (non-positive II or a non-positive lifetime).
+func FirstFit(lts []lifetime.Lifetime, ii int) (*Allocation, error) {
+	if ii < 1 {
+		return nil, fmt.Errorf("regalloc: II = %d", ii)
+	}
+	for _, l := range lts {
+		if l.Len() <= 0 {
+			return nil, fmt.Errorf("regalloc: value %d has non-positive lifetime [%d,%d)", l.Node, l.Start, l.End)
+		}
+	}
+	if len(lts) == 0 {
+		return &Allocation{Registers: 0, II: ii, Spec: map[int]int{}}, nil
+	}
+	low := lifetime.AvgLiveBound(lts, ii)
+	if ml := lifetime.MaxLive(lts, ii); ml > low {
+		low = ml
+	}
+	for r := low; ; r++ {
+		if spec, ok := tryFit(lts, ii, r); ok {
+			return &Allocation{Registers: r, II: ii, Spec: spec}, nil
+		}
+	}
+}
+
+// FitsIn reports whether First Fit succeeds with at most r registers.
+func FitsIn(lts []lifetime.Lifetime, ii, r int) bool {
+	if len(lts) == 0 {
+		return true
+	}
+	if r < lifetime.AvgLiveBound(lts, ii) {
+		return false
+	}
+	_, ok := tryFit(lts, ii, r)
+	return ok
+}
+
+// tryFit attempts First Fit placement with exactly r registers: values in
+// increasing start-time order, each given the smallest specifier q whose
+// arc avoids all previously placed arcs.
+func tryFit(lts []lifetime.Lifetime, ii, r int) (map[int]int, bool) {
+	c := r * ii
+	order := append([]lifetime.Lifetime(nil), lts...)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Start != order[j].Start {
+			return order[i].Start < order[j].Start
+		}
+		if order[i].End != order[j].End {
+			return order[i].End > order[j].End // longer lifetime first
+		}
+		return order[i].Node < order[j].Node
+	})
+	var placed []arc
+	spec := make(map[int]int, len(order))
+	for _, l := range order {
+		if l.Len() > c {
+			return nil, false // a single wand cannot exceed the circle
+		}
+		found := false
+		for q := 0; q < r; q++ {
+			cand := arc{start: l.Start + q*ii, end: l.End + q*ii}
+			ok := true
+			for _, p := range placed {
+				if cand.overlaps(p, c) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				placed = append(placed, cand)
+				spec[l.Node] = q
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return spec, true
+}
+
+// Validate checks that an allocation is conflict-free for the given
+// lifetimes: all arcs pairwise disjoint on the circle of circumference
+// Registers*II.
+func (a *Allocation) Validate(lts []lifetime.Lifetime) error {
+	if a.Registers == 0 {
+		if len(lts) != 0 {
+			return fmt.Errorf("regalloc: empty allocation for %d values", len(lts))
+		}
+		return nil
+	}
+	c := a.Registers * a.II
+	arcs := make([]arc, 0, len(lts))
+	for _, l := range lts {
+		q, ok := a.Spec[l.Node]
+		if !ok {
+			return fmt.Errorf("regalloc: value %d not allocated", l.Node)
+		}
+		if q < 0 || q >= a.Registers {
+			return fmt.Errorf("regalloc: value %d has specifier %d outside [0,%d)", l.Node, q, a.Registers)
+		}
+		if l.Len() > c {
+			return fmt.Errorf("regalloc: value %d lifetime %d exceeds circle %d", l.Node, l.Len(), c)
+		}
+		arcs = append(arcs, arc{start: l.Start + q*a.II, end: l.End + q*a.II})
+	}
+	for i := 0; i < len(arcs); i++ {
+		for j := i + 1; j < len(arcs); j++ {
+			if arcs[i].overlaps(arcs[j], c) {
+				return fmt.Errorf("regalloc: values %d and %d collide", lts[i].Node, lts[j].Node)
+			}
+		}
+	}
+	return nil
+}
+
+func mod(a, m int) int {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

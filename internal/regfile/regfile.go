@@ -1,0 +1,115 @@
+// Package regfile implements the VLSI register-file cost models of
+// section 3.2: area is linear in the number of registers and bits and
+// quadratic in the number of ports (each port adds a wordline and a
+// bitline per cell), and access time grows logarithmically with the
+// number of registers and of read ports. The absolute scale is
+// normalized; only ratios between organizations are meaningful, which is
+// all the paper's argument needs.
+package regfile
+
+import (
+	"fmt"
+	"math"
+)
+
+// File describes one multiported register subfile.
+type File struct {
+	// Registers is the number of registers.
+	Registers int
+	// Bits is the width of each register.
+	Bits int
+	// ReadPorts and WritePorts are the port counts.
+	ReadPorts, WritePorts int
+}
+
+// Validate checks the parameters.
+func (f File) Validate() error {
+	if f.Registers < 1 || f.Bits < 1 || f.ReadPorts < 1 || f.WritePorts < 1 {
+		return fmt.Errorf("regfile: invalid file %+v", f)
+	}
+	return nil
+}
+
+// Area returns the normalized silicon area of the file: each storage
+// cell's side grows linearly with the ports crossing it, so cell area is
+// quadratic in ports, and the file is registers*bits cells.
+func (f File) Area() float64 {
+	p := float64(f.ReadPorts + f.WritePorts)
+	return float64(f.Registers) * float64(f.Bits) * p * p
+}
+
+// AccessTime returns the normalized read access time of the file:
+// t = 1 + log2(registers) + log2(readPorts), after the logarithmic decoder
+// and bitline models the paper cites.
+func (f File) AccessTime() float64 {
+	return 1 + math.Log2(float64(f.Registers)) + math.Log2(float64(f.ReadPorts))
+}
+
+// Organization is a register-file implementation built from one or more
+// subfiles.
+type Organization struct {
+	// Name labels the organization.
+	Name string
+	// Files are the subfiles (one for unified, two for the duals).
+	Files []File
+	// Capacity is the number of distinct values the organization can
+	// hold (registers for unified/consistent, up to the sum of subfiles
+	// for the non-consistent dual).
+	Capacity int
+}
+
+// TotalArea sums the subfile areas.
+func (o Organization) TotalArea() float64 {
+	sum := 0.0
+	for _, f := range o.Files {
+		sum += f.Area()
+	}
+	return sum
+}
+
+// AccessTime returns the slowest subfile's access time (the cycle-time
+// limiter).
+func (o Organization) AccessTime() float64 {
+	worst := 0.0
+	for _, f := range o.Files {
+		if t := f.AccessTime(); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// Unified builds a single multiported file for a machine with units
+// functional units, each needing two read ports and one write port.
+func Unified(regs, bits, units int) Organization {
+	return Organization{
+		Name:     "unified",
+		Capacity: regs,
+		Files: []File{{
+			Registers: regs, Bits: bits,
+			ReadPorts: 2 * units, WritePorts: units,
+		}},
+	}
+}
+
+// ConsistentDual builds the POWER2-style implementation: two subfiles
+// with identical contents, each serving one cluster's read ports (half
+// of the total) but receiving every write.
+func ConsistentDual(regs, bits, units int) Organization {
+	sub := File{
+		Registers: regs, Bits: bits,
+		ReadPorts: units, WritePorts: units, // 2*units/2 reads; all writes
+	}
+	return Organization{Name: "consistent-dual", Capacity: regs, Files: []File{sub, sub}}
+}
+
+// NonConsistentDual builds the paper's organization: the same physical
+// structure as the consistent dual — so identical area and access time —
+// but with independently addressed subfiles, holding up to twice the
+// distinct values (globals replicated, locals private).
+func NonConsistentDual(regs, bits, units int) Organization {
+	o := ConsistentDual(regs, bits, units)
+	o.Name = "non-consistent-dual"
+	o.Capacity = 2 * regs // upper bound: all values local
+	return o
+}

@@ -1,0 +1,106 @@
+package regfile
+
+import (
+	"testing"
+)
+
+func TestFileValidate(t *testing.T) {
+	good := File{Registers: 32, Bits: 64, ReadPorts: 4, WritePorts: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []File{
+		{Registers: 0, Bits: 64, ReadPorts: 4, WritePorts: 2},
+		{Registers: 32, Bits: 0, ReadPorts: 4, WritePorts: 2},
+		{Registers: 32, Bits: 64, ReadPorts: 0, WritePorts: 2},
+		{Registers: 32, Bits: 64, ReadPorts: 4, WritePorts: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", bad)
+		}
+	}
+}
+
+func TestAreaQuadraticInPorts(t *testing.T) {
+	base := File{Registers: 64, Bits: 64, ReadPorts: 4, WritePorts: 2}
+	doubled := File{Registers: 64, Bits: 64, ReadPorts: 8, WritePorts: 4}
+	if got := doubled.Area() / base.Area(); got != 4 {
+		t.Fatalf("doubling ports must quadruple area, got factor %v", got)
+	}
+	moreRegs := File{Registers: 128, Bits: 64, ReadPorts: 4, WritePorts: 2}
+	if got := moreRegs.Area() / base.Area(); got != 2 {
+		t.Fatalf("doubling registers must double area, got factor %v", got)
+	}
+}
+
+func TestAccessTimeLogarithmic(t *testing.T) {
+	a := File{Registers: 32, Bits: 64, ReadPorts: 4, WritePorts: 2}
+	b := File{Registers: 64, Bits: 64, ReadPorts: 4, WritePorts: 2}
+	if diff := b.AccessTime() - a.AccessTime(); diff != 1 {
+		t.Fatalf("doubling registers must add exactly 1 (log2), got %v", diff)
+	}
+	c := File{Registers: 32, Bits: 64, ReadPorts: 8, WritePorts: 2}
+	if diff := c.AccessTime() - a.AccessTime(); diff != 1 {
+		t.Fatalf("doubling read ports must add exactly 1 (log2), got %v", diff)
+	}
+}
+
+// TestDualBeatsUnifiedOnAccessTime reproduces the section 3.2 argument:
+// splitting into two subfiles with half the read ports each is faster
+// than one big file, at the same capacity.
+func TestDualBeatsUnifiedOnAccessTime(t *testing.T) {
+	const regs, bits, units = 64, 64, 6
+	uni := Unified(regs, bits, units)
+	dual := ConsistentDual(regs, bits, units)
+	if !(dual.AccessTime() < uni.AccessTime()) {
+		t.Fatalf("dual access %v !< unified %v", dual.AccessTime(), uni.AccessTime())
+	}
+}
+
+// TestNCDRFCheaperThanDoubling reproduces the section 6 claim: the
+// non-consistent dual file with R registers per subfile is cheaper in
+// area and faster in access than a unified file with 2R registers, while
+// offering comparable capacity.
+func TestNCDRFCheaperThanDoubling(t *testing.T) {
+	const regs, bits, units = 32, 64, 6
+	ncdrf := NonConsistentDual(regs, bits, units)
+	doubled := Unified(2*regs, bits, units)
+	if !(ncdrf.TotalArea() < doubled.TotalArea()) {
+		t.Fatalf("NCDRF area %v !< doubled unified %v", ncdrf.TotalArea(), doubled.TotalArea())
+	}
+	if !(ncdrf.AccessTime() < doubled.AccessTime()) {
+		t.Fatalf("NCDRF access %v !< doubled unified %v", ncdrf.AccessTime(), doubled.AccessTime())
+	}
+	if ncdrf.Capacity != 2*regs {
+		t.Fatalf("NCDRF capacity = %d, want %d", ncdrf.Capacity, 2*regs)
+	}
+}
+
+// TestNCDRFSameCostAsConsistent verifies the core selling point: the
+// non-consistent organization costs exactly what the consistent dual
+// costs (same structure), but holds up to twice the values.
+func TestNCDRFSameCostAsConsistent(t *testing.T) {
+	const regs, bits, units = 32, 64, 6
+	cons := ConsistentDual(regs, bits, units)
+	ncdrf := NonConsistentDual(regs, bits, units)
+	if cons.TotalArea() != ncdrf.TotalArea() {
+		t.Fatal("area must match the consistent dual")
+	}
+	if cons.AccessTime() != ncdrf.AccessTime() {
+		t.Fatal("access time must match the consistent dual")
+	}
+	if ncdrf.Capacity != 2*cons.Capacity {
+		t.Fatalf("capacity %d, want twice %d", ncdrf.Capacity, cons.Capacity)
+	}
+}
+
+func TestOrganizationShapes(t *testing.T) {
+	uni := Unified(64, 64, 4)
+	if len(uni.Files) != 1 || uni.Files[0].ReadPorts != 8 || uni.Files[0].WritePorts != 4 {
+		t.Fatalf("unified shape wrong: %+v", uni)
+	}
+	dual := ConsistentDual(64, 64, 4)
+	if len(dual.Files) != 2 || dual.Files[0].ReadPorts != 4 || dual.Files[0].WritePorts != 4 {
+		t.Fatalf("dual shape wrong: %+v", dual)
+	}
+}

@@ -1,0 +1,110 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Chart renders one or more percentage series against a shared integer
+// X axis as an ASCII line chart — enough to eyeball the cumulative
+// distribution figures in a terminal.
+type Chart struct {
+	Title  string
+	XLabel string
+	// Height is the number of plot rows; 0 means 20.
+	Height int
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name   string
+	marker byte
+	xs     []int
+	ys     []float64
+}
+
+// AddSeries appends a named series with its plotting marker. All series
+// should share the same x values for a readable plot.
+func (c *Chart) AddSeries(name string, marker byte, xs []int, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("report: series %q has %d xs but %d ys", name, len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("report: series %q is empty", name)
+	}
+	c.series = append(c.series, chartSeries{name: name, marker: marker, xs: xs, ys: ys})
+	return nil
+}
+
+// Render draws the chart: the Y axis is 0..100%, each series marker is
+// placed at its row; later series overwrite earlier ones on collisions.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.series) == 0 {
+		return fmt.Errorf("report: chart with no series")
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 20
+	}
+	width := len(c.series[0].xs)
+	// Each x value gets a 4-column cell for readability.
+	const cell = 4
+	grid := make([][]byte, height+1)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width*cell))
+	}
+	for _, s := range c.series {
+		for i, y := range s.ys {
+			if i >= width {
+				break
+			}
+			row := height - int(y/100*float64(height)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row > height {
+				row = height
+			}
+			grid[row][i*cell] = s.marker
+		}
+	}
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	for r := 0; r <= height; r++ {
+		pct := 100 * (height - r) / height
+		label := "    "
+		if r == 0 || r == height || r == height/2 {
+			label = fmt.Sprintf("%3d%%", pct)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, strings.TrimRight(string(grid[r]), " ")); err != nil {
+			return err
+		}
+	}
+	// X axis with tick labels.
+	axis := strings.Repeat("-", width*cell)
+	if _, err := fmt.Fprintf(w, "     +%s\n", axis); err != nil {
+		return err
+	}
+	var ticks strings.Builder
+	for i, x := range c.series[0].xs {
+		lbl := fmt.Sprintf("%-4d", x)
+		if len(lbl) > cell {
+			lbl = lbl[:cell]
+		}
+		_ = i
+		ticks.WriteString(lbl)
+	}
+	if _, err := fmt.Fprintf(w, "      %s %s\n", ticks.String(), c.XLabel); err != nil {
+		return err
+	}
+	var legend []string
+	for _, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.marker, s.name))
+	}
+	_, err := fmt.Fprintf(w, "      legend: %s\n", strings.Join(legend, "  "))
+	return err
+}

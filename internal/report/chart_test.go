@@ -1,0 +1,61 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := &Chart{Title: "demo", XLabel: "registers", Height: 10}
+	xs := []int{8, 16, 32, 64}
+	if err := c.AddSeries("unified", 'u', xs, []float64{10, 40, 80, 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSeries("ncdrf", 'n', xs, []float64{20, 60, 99, 100}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "100%", "  0%", "u=unified", "n=ncdrf", "registers", "+----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The 100% row must contain markers for the last points.
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	if !strings.Contains(top, "u") && !strings.Contains(top, "n") {
+		t.Fatalf("no marker reached the top row:\n%s", out)
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	c := &Chart{}
+	if err := c.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("empty chart must fail")
+	}
+	if err := c.AddSeries("bad", 'b', []int{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if err := c.AddSeries("empty", 'e', nil, nil); err == nil {
+		t.Fatal("empty series must fail")
+	}
+}
+
+func TestChartDefaultHeight(t *testing.T) {
+	c := &Chart{}
+	if err := c.AddSeries("s", 's', []int{1}, []float64{50}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines < 20 {
+		t.Fatalf("default height too small: %d lines", lines)
+	}
+}

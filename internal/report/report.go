@@ -1,0 +1,185 @@
+// Package report renders experiment results as aligned ASCII tables,
+// cumulative distributions and CSV, mirroring the tables and figures of
+// the paper.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row. The cell count should match the headers.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		_, err := fmt.Fprintf(w, "%s\n", strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the table as comma-separated values (headers first).
+func (t *Table) CSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		escaped := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			escaped[i] = c
+		}
+		_, err := fmt.Fprintf(w, "%s\n", strings.Join(escaped, ","))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sample is one weighted observation for a cumulative distribution
+// (value = registers required, weight = 1 for static counts or executed
+// cycles for dynamic counts).
+type Sample struct {
+	Value  int
+	Weight float64
+}
+
+// CDF is a weighted cumulative distribution over integer values.
+type CDF struct {
+	total  float64
+	sorted []Sample // ascending by Value, weights merged
+}
+
+// NewCDF builds a distribution from samples; zero- or negative-weight
+// samples are ignored.
+func NewCDF(samples []Sample) *CDF {
+	agg := map[int]float64{}
+	total := 0.0
+	for _, s := range samples {
+		if s.Weight <= 0 {
+			continue
+		}
+		agg[s.Value] += s.Weight
+		total += s.Weight
+	}
+	values := make([]int, 0, len(agg))
+	for v := range agg {
+		values = append(values, v)
+	}
+	sort.Ints(values)
+	merged := make([]Sample, 0, len(values))
+	for _, v := range values {
+		merged = append(merged, Sample{Value: v, Weight: agg[v]})
+	}
+	return &CDF{total: total, sorted: merged}
+}
+
+// Total returns the total weight.
+func (c *CDF) Total() float64 { return c.total }
+
+// AtMost returns the fraction of weight with value <= x, in [0,1].
+func (c *CDF) AtMost(x int) float64 {
+	if c.total <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range c.sorted {
+		if s.Value > x {
+			break
+		}
+		sum += s.Weight
+	}
+	return sum / c.total
+}
+
+// Series evaluates AtMost at each x, as percentages (0..100).
+func (c *CDF) Series(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = 100 * c.AtMost(x)
+	}
+	return out
+}
+
+// Percentile returns the smallest value v such that AtMost(v) >= p
+// (p in [0,1]); -1 for an empty distribution.
+func (c *CDF) Percentile(p float64) int {
+	if c.total <= 0 {
+		return -1
+	}
+	target := p * c.total
+	sum := 0.0
+	for _, s := range c.sorted {
+		sum += s.Weight
+		if sum >= target-1e-12 {
+			return s.Value
+		}
+	}
+	return c.sorted[len(c.sorted)-1].Value
+}
+
+// Pct formats a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,144 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "demo", Headers: []string{"name", "value"}}
+	tb.Add("alpha", "1")
+	tb.Add("b", "22222")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "-----") {
+		t.Fatalf("separator = %q", lines[2])
+	}
+	// Column alignment: "value" column must start at the same offset.
+	off := strings.Index(lines[1], "value")
+	if lines[3][off:off+1] != "1" && !strings.HasPrefix(lines[3][off:], "1") {
+		t.Fatalf("misaligned row: %q", lines[3])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.Add("plain", "with,comma")
+	tb.Add("quote\"inside", "x")
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "\"with,comma\"") {
+		t.Fatalf("comma not quoted: %s", out)
+	}
+	if !strings.Contains(out, "\"quote\"\"inside\"") {
+		t.Fatalf("quote not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("missing header: %s", out)
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]Sample{{Value: 10, Weight: 1}, {Value: 20, Weight: 1}, {Value: 30, Weight: 2}})
+	if c.Total() != 4 {
+		t.Fatalf("total = %v", c.Total())
+	}
+	cases := []struct {
+		x    int
+		want float64
+	}{
+		{5, 0}, {10, 0.25}, {19, 0.25}, {20, 0.5}, {30, 1}, {100, 1},
+	}
+	for _, tc := range cases {
+		if got := c.AtMost(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("AtMost(%d) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	series := c.Series([]int{10, 20, 30})
+	if series[0] != 25 || series[1] != 50 || series[2] != 100 {
+		t.Fatalf("Series = %v", series)
+	}
+}
+
+func TestCDFPercentile(t *testing.T) {
+	c := NewCDF([]Sample{{Value: 1, Weight: 1}, {Value: 5, Weight: 1}, {Value: 9, Weight: 2}})
+	if got := c.Percentile(0.25); got != 1 {
+		t.Fatalf("P25 = %d", got)
+	}
+	if got := c.Percentile(0.5); got != 5 {
+		t.Fatalf("P50 = %d", got)
+	}
+	if got := c.Percentile(1.0); got != 9 {
+		t.Fatalf("P100 = %d", got)
+	}
+	empty := NewCDF(nil)
+	if empty.Percentile(0.5) != -1 {
+		t.Fatal("empty percentile must be -1")
+	}
+	if empty.AtMost(10) != 0 {
+		t.Fatal("empty AtMost must be 0")
+	}
+}
+
+func TestCDFIgnoresNonPositiveWeights(t *testing.T) {
+	c := NewCDF([]Sample{{Value: 3, Weight: 0}, {Value: 4, Weight: -1}, {Value: 5, Weight: 2}})
+	if c.Total() != 2 {
+		t.Fatalf("total = %v", c.Total())
+	}
+	if c.AtMost(4) != 0 {
+		t.Fatal("zero/negative weights must not count")
+	}
+}
+
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(vals []uint8) bool {
+		samples := make([]Sample, len(vals))
+		for i, v := range vals {
+			samples[i] = Sample{Value: int(v), Weight: 1}
+		}
+		c := NewCDF(samples)
+		prev := -0.001
+		for x := 0; x <= 260; x += 5 {
+			cur := c.AtMost(x)
+			if cur < prev-1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		if len(vals) > 0 && c.AtMost(256) != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(12.34) != "12.3%" {
+		t.Fatalf("Pct = %q", Pct(12.34))
+	}
+	if F2(1.005) == "" {
+		t.Fatal("F2 empty")
+	}
+}

@@ -1,0 +1,243 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/machine"
+)
+
+// Options tunes the iterative modulo scheduler. The zero value selects
+// the defaults used throughout the reproduction.
+type Options struct {
+	// BudgetRatio bounds the scheduling effort per II attempt to
+	// BudgetRatio * NumNodes placement operations (Rau uses small
+	// constants; default 8).
+	BudgetRatio int
+	// MaxIISlack bounds the II search: II is tried from MII up to
+	// MII + MaxIISlack + NumNodes before giving up (default 10).
+	MaxIISlack int
+	// MinII forces the II search to start no lower than this value;
+	// used by the spiller's II-increase fallback.
+	MinII int
+}
+
+func (o Options) budgetRatio() int {
+	if o.BudgetRatio <= 0 {
+		return 8
+	}
+	return o.BudgetRatio
+}
+
+func (o Options) maxIISlack() int {
+	if o.MaxIISlack <= 0 {
+		return 10
+	}
+	return o.MaxIISlack
+}
+
+// Run modulo-schedules the loop onto the machine with iterative modulo
+// scheduling. The returned schedule is always verified.
+func Run(g *ddg.Graph, m *machine.Config, opts Options) (*Schedule, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	mii, _, _, err := MII(g, m)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MinII > mii {
+		mii = opts.MinII
+	}
+	maxII := mii + opts.maxIISlack() + g.NumNodes()
+	for ii := mii; ii <= maxII; ii++ {
+		s, ok := tryII(g, m, ii, opts.budgetRatio())
+		if !ok {
+			continue
+		}
+		if err := s.Verify(); err != nil {
+			return nil, fmt.Errorf("sched: internal: produced invalid schedule for %s: %w", g.LoopName, err)
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("sched: loop %s not schedulable up to II=%d on %s", g.LoopName, maxII, m.Name())
+}
+
+// tryII attempts to find a schedule at a fixed II with a bounded budget.
+func tryII(g *ddg.Graph, m *machine.Config, ii, budgetRatio int) (*Schedule, bool) {
+	n := g.NumNodes()
+	h := heights(g, m, ii)
+
+	// Priority order: higher height first, then lower node ID.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if h[order[a]] != h[order[b]] {
+			return h[order[a]] > h[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	st := &imsState{
+		g:        g,
+		m:        m,
+		ii:       ii,
+		start:    make([]int, n),
+		fu:       make([]int, n),
+		placed:   make([]bool, n),
+		mrt:      newMRT(ii, m.NumUnits()),
+		unitLoad: make([]int, m.NumUnits()),
+	}
+	for i := range st.start {
+		st.start[i] = -1
+		st.fu[i] = -1
+	}
+
+	budget := budgetRatio * n
+	if budget < 32 {
+		budget = 32
+	}
+	unplaced := n
+	for unplaced > 0 && budget > 0 {
+		budget--
+		u := st.nextUnscheduled(order)
+		estart := st.earliestStart(u)
+		slot, fu, found := st.findSlot(u, estart)
+		if !found {
+			// Cannot happen with fully pipelined units occupying one
+			// reservation cell each: at II >= ResMII the kind has at
+			// most II*units operations, so some cell is free, and the
+			// II-cycle search window visits every kernel row.
+			panic("sched: internal: no free cell within the II window despite II >= ResMII")
+		}
+		unplaced += st.place(u, slot, fu)
+	}
+	if unplaced > 0 {
+		return nil, false
+	}
+	return &Schedule{Graph: g, Mach: m, II: ii, Start: st.start, FU: st.fu}, true
+}
+
+type imsState struct {
+	g        *ddg.Graph
+	m        *machine.Config
+	ii       int
+	start    []int
+	fu       []int
+	placed   []bool
+	mrt      *mrt
+	unitLoad []int
+}
+
+// nextUnscheduled returns the highest-priority unscheduled node.
+func (st *imsState) nextUnscheduled(order []int) int {
+	for _, id := range order {
+		if !st.placed[id] {
+			return id
+		}
+	}
+	panic("sched: nextUnscheduled on fully scheduled state")
+}
+
+// earliestStart computes the earliest legal issue cycle of u with respect
+// to its currently scheduled predecessors.
+func (st *imsState) earliestStart(u int) int {
+	estart := 0
+	for _, e := range st.g.InEdges(u) {
+		if !st.placed[e.From] {
+			continue
+		}
+		t := st.start[e.From] + EdgeDelay(st.g, st.m, e) - st.ii*e.Distance
+		if t > estart {
+			estart = t
+		}
+	}
+	return estart
+}
+
+// findSlot searches cycles [estart, estart+II-1] for a free unit of the
+// right kind, preferring the least-loaded unit (which spreads operations
+// across clusters as a real cluster scheduler would).
+func (st *imsState) findSlot(u, estart int) (slot, fu int, ok bool) {
+	kind := st.g.Node(u).Op.FUKind()
+	units := st.m.UnitsOfKind(kind)
+	for t := estart; t < estart+st.ii; t++ {
+		row := mod(t, st.ii)
+		best := -1
+		for _, ui := range units {
+			if st.mrt.at(row, ui) >= 0 {
+				continue
+			}
+			if best < 0 || st.unitLoad[ui] < st.unitLoad[best] {
+				best = ui
+			}
+		}
+		if best >= 0 {
+			return t, best, true
+		}
+	}
+	return 0, 0, false
+}
+
+// place schedules u at (slot, fu) — a free reservation cell by findSlot's
+// contract — and evicts any scheduled neighbor whose dependence
+// constraint the placement violates (which is how IMS untangles
+// recurrences whose members were placed out of order). It returns the net
+// change in the number of unscheduled nodes (-1 for u itself, +1 per
+// eviction).
+func (st *imsState) place(u, slot, fu int) int {
+	row := mod(slot, st.ii)
+	delta := 0
+	st.mrt.set(row, fu, u)
+	st.start[u] = slot
+	st.fu[u] = fu
+	st.placed[u] = true
+	st.unitLoad[fu]++
+	delta--
+
+	// Dependence-violating neighbors.
+	for _, e := range st.g.OutEdges(u) {
+		if e.To != u && st.placed[e.To] &&
+			st.start[e.To] < slot+EdgeDelay(st.g, st.m, e)-st.ii*e.Distance {
+			st.evict(e.To)
+			delta++
+		}
+	}
+	for _, e := range st.g.InEdges(u) {
+		if e.From != u && st.placed[e.From] &&
+			slot < st.start[e.From]+EdgeDelay(st.g, st.m, e)-st.ii*e.Distance {
+			st.evict(e.From)
+			delta++
+		}
+	}
+	return delta
+}
+
+func (st *imsState) evict(v int) {
+	st.mrt.set(mod(st.start[v], st.ii), st.fu[v], -1)
+	st.unitLoad[st.fu[v]]--
+	st.placed[v] = false
+	st.start[v] = -1
+	st.fu[v] = -1
+}
+
+// mrt is the modulo reservation table: one cell per (kernel row, unit)
+// holding the occupying node ID or -1.
+type mrt struct {
+	ii, units int
+	cells     []int
+}
+
+func newMRT(ii, units int) *mrt {
+	m := &mrt{ii: ii, units: units, cells: make([]int, ii*units)}
+	for i := range m.cells {
+		m.cells[i] = -1
+	}
+	return m
+}
+
+func (m *mrt) at(row, unit int) int    { return m.cells[row*m.units+unit] }
+func (m *mrt) set(row, unit, node int) { m.cells[row*m.units+unit] = node }

@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"fmt"
+
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/machine"
+)
+
+// ResMII returns the resource-constrained minimum initiation interval:
+// for each functional-unit kind, ceil(ops of that kind / units of that
+// kind), maximized over kinds. An error is returned if the loop uses a
+// kind the machine lacks.
+func ResMII(g *ddg.Graph, m *machine.Config) (int, error) {
+	counts := map[machine.FUKind]int{}
+	for _, n := range g.Nodes() {
+		counts[n.Op.FUKind()]++
+	}
+	mii := 1
+	for kind, ops := range counts {
+		units := m.CountOfKind(kind)
+		if units == 0 {
+			return 0, fmt.Errorf("sched: machine %s has no %s units but loop %s needs %d",
+				m.Name(), kind, g.LoopName, ops)
+		}
+		need := (ops + units - 1) / units
+		if need > mii {
+			mii = need
+		}
+	}
+	return mii, nil
+}
+
+// RecMII returns the recurrence-constrained minimum initiation interval:
+// the smallest II such that the dependence-constraint graph with edge
+// weights delay(e) - II*distance(e) has no positive-weight cycle. For an
+// acyclic graph it is 1.
+func RecMII(g *ddg.Graph, m *machine.Config) int {
+	// Upper bound: II equal to the sum of all delays always kills every
+	// cycle (each cycle has total distance >= 1).
+	hi := 1
+	for _, e := range g.Edges() {
+		hi += EdgeDelay(g, m, e)
+	}
+	lo := 1
+	// Binary search on the predicate "no positive cycle at II", which is
+	// monotone in II (raising II only lowers weights).
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if hasPositiveCycle(g, m, mid) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// hasPositiveCycle reports whether the constraint graph at the given II
+// contains a positive-weight cycle, using Bellman-Ford-style relaxation:
+// if longest-path distances still relax after N rounds, a positive cycle
+// exists.
+func hasPositiveCycle(g *ddg.Graph, m *machine.Config, ii int) bool {
+	n := g.NumNodes()
+	dist := make([]int, n) // longest path from a virtual source to each node
+	edges := g.Edges()
+	for round := 0; round < n; round++ {
+		changed := false
+		for _, e := range edges {
+			w := EdgeDelay(g, m, e) - ii*e.Distance
+			if d := dist[e.From] + w; d > dist[e.To] {
+				dist[e.To] = d
+				changed = true
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+	// One more relaxation round: any further improvement proves a cycle.
+	for _, e := range edges {
+		w := EdgeDelay(g, m, e) - ii*e.Distance
+		if dist[e.From]+w > dist[e.To] {
+			return true
+		}
+	}
+	return false
+}
+
+// MII returns max(ResMII, RecMII) along with both components.
+func MII(g *ddg.Graph, m *machine.Config) (mii, res, rec int, err error) {
+	res, err = ResMII(g, m)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rec = RecMII(g, m)
+	mii = res
+	if rec > mii {
+		mii = rec
+	}
+	return mii, res, rec, nil
+}
+
+// heights computes the height-based scheduling priority of every node at
+// the given II: height(u) = max over out-edges e=(u,v) of
+// height(v) + delay(e) - II*distance(e), with sinks at 0. Valid whenever
+// the constraint graph has no positive cycle (II >= RecMII).
+func heights(g *ddg.Graph, m *machine.Config, ii int) []int {
+	n := g.NumNodes()
+	h := make([]int, n)
+	edges := g.Edges()
+	for round := 0; round < n+1; round++ {
+		changed := false
+		for _, e := range edges {
+			w := EdgeDelay(g, m, e) - ii*e.Distance
+			if v := h[e.To] + w; v > h[e.From] {
+				h[e.From] = v
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return h
+}

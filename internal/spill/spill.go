@@ -1,0 +1,183 @@
+// Package spill implements the paper's "naive" spiller (section 5.4):
+// when a loop's register requirement exceeds the physical file, the value
+// with the longest lifetime is spilled — a store after its producer and a
+// reload before its consumers — the dependence graph is rebuilt, the loop
+// is modulo-scheduled again and allocation is retried, until the loop
+// fits. When no spillable value remains, the initiation interval is
+// increased by one (the paper's first listed alternative) so the process
+// always terminates.
+package spill
+
+import (
+	"fmt"
+	"sort"
+
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/lifetime"
+	"ncdrf/internal/machine"
+	"ncdrf/internal/sched"
+)
+
+// FitFunc decides whether a schedule fits in the given number of
+// registers under some register-file model. It may return a rebalanced
+// schedule (e.g. after swapping); otherwise it returns its input.
+type FitFunc func(s *sched.Schedule, lts []lifetime.Lifetime, regs int) (*sched.Schedule, bool)
+
+// Result describes the outcome of the spill loop for one loop.
+type Result struct {
+	// Sched is the final, fitting schedule (possibly rebalanced by the
+	// fit function).
+	Sched *sched.Schedule
+	// Graph is the final dependence graph including spill code.
+	Graph *ddg.Graph
+	// SpilledValues is the number of values spilled.
+	SpilledValues int
+	// SpillStores and SpillLoads count inserted memory operations.
+	SpillStores, SpillLoads int
+	// IIBumps counts forced initiation-interval increases.
+	IIBumps int
+	// Iterations is the number of schedule/allocate rounds executed.
+	Iterations int
+}
+
+// MemOps returns the final number of memory operations per iteration,
+// including spill code.
+func (r *Result) MemOps() int { return r.Graph.MemOps() }
+
+// maxIterations bounds the spill loop; it is far beyond anything the
+// corpus needs and converts algorithmic surprises into errors.
+const maxIterations = 400
+
+// Run executes the spill loop on a copy of g. regs <= 0 means an
+// unlimited register file: the first schedule is returned untouched.
+func Run(g *ddg.Graph, m *machine.Config, regs int, fit FitFunc, opts sched.Options) (*Result, error) {
+	work := g.Clone()
+	res := &Result{}
+	unspillable := make(map[int]bool) // node IDs whose values may not be spilled again
+	slot := 0
+
+	for iter := 0; iter < maxIterations; iter++ {
+		res.Iterations = iter + 1
+		s, err := sched.Run(work, m, opts)
+		if err != nil {
+			return nil, fmt.Errorf("spill: %w", err)
+		}
+		lts := lifetime.Compute(s)
+		if regs <= 0 {
+			res.Sched, res.Graph = s, work
+			return res, nil
+		}
+		if final, ok := fit(s, lts, regs); ok {
+			res.Sched, res.Graph = final, work
+			return res, nil
+		}
+		victim, ok := pickVictim(work, lts, unspillable)
+		if !ok {
+			// Everything is spilled and it still does not fit: relax
+			// the schedule by forcing a larger II.
+			res.IIBumps++
+			if opts.MinII <= s.II {
+				opts.MinII = s.II + 1
+			} else {
+				opts.MinII++
+			}
+			continue
+		}
+		stores, loads := insertSpill(work, victim, slot, unspillable)
+		slot++
+		res.SpilledValues++
+		res.SpillStores += stores
+		res.SpillLoads += loads
+	}
+	return nil, fmt.Errorf("spill: loop %s did not converge in %d rounds (regs=%d)",
+		g.LoopName, maxIterations, regs)
+}
+
+// pickVictim selects the spillable value with the longest lifetime, as
+// the paper does ("the value with the highest lifetime, which in general
+// will free a higher number of registers"). Ties break on the smaller
+// node ID for determinism.
+func pickVictim(g *ddg.Graph, lts []lifetime.Lifetime, unspillable map[int]bool) (int, bool) {
+	best, bestLen := -1, 0
+	for _, l := range lts {
+		if unspillable[l.Node] {
+			continue
+		}
+		if !hasFlowConsumer(g, l.Node) {
+			continue // nothing to reload; spilling gains nothing
+		}
+		if l.Len() > bestLen {
+			best, bestLen = l.Node, l.Len()
+		}
+	}
+	return best, best >= 0
+}
+
+func hasFlowConsumer(g *ddg.Graph, node int) bool {
+	for _, e := range g.OutEdges(node) {
+		if e.Kind == ddg.Flow {
+			return true
+		}
+	}
+	return false
+}
+
+// insertSpill rewrites the graph: it rebuilds it with identical node IDs
+// for existing nodes, appends a spill store plus one reload per distinct
+// consumption distance, and redirects the producer's flow out-edges
+// through the reloads. Each consumer edge is replaced in place — same
+// position in the edge list — so operand order (which matters for
+// subtraction and division semantics in the simulator) is preserved.
+func insertSpill(g *ddg.Graph, producer, slot int, unspillable map[int]bool) (stores, loads int) {
+	// Distinct consumption distances of the producer's value.
+	distSet := map[int]bool{}
+	for _, e := range g.OutEdges(producer) {
+		if e.Kind == ddg.Flow {
+			distSet[e.Distance] = true
+		}
+	}
+	dists := make([]int, 0, len(distSet))
+	for d := range distSet {
+		dists = append(dists, d)
+	}
+	sort.Ints(dists)
+
+	rebuilt := ddg.New(g.LoopName, g.Trips)
+	for _, n := range g.Nodes() {
+		id := rebuilt.AddNode(n.Op, n.Name)
+		rebuilt.Node(id).Sym = n.Sym
+		rebuilt.Node(id).SpillSlot = n.SpillSlot
+	}
+	// Spill store fed by the producer, then one reload per distance.
+	st := rebuilt.AddNode(ddg.STORE, fmt.Sprintf("sp%d.st", slot))
+	rebuilt.Node(st).Sym = fmt.Sprintf("spill%d", slot)
+	rebuilt.Node(st).SpillSlot = slot
+	stores = 1
+	loadOf := map[int]int{}
+	for _, d := range dists {
+		ld := rebuilt.AddNode(ddg.LOAD, fmt.Sprintf("sp%d.ld%d", slot, d))
+		rebuilt.Node(ld).Sym = fmt.Sprintf("spill%d", slot)
+		rebuilt.Node(ld).SpillSlot = slot
+		loadOf[d] = ld
+		unspillable[ld] = true
+		loads++
+	}
+	// Copy edges in order, substituting consumer edges in place: the
+	// consumer now reads the reload's value at distance 0.
+	for _, e := range g.Edges() {
+		if e.Kind == ddg.Flow && e.From == producer {
+			rebuilt.Flow(loadOf[e.Distance], e.To)
+			continue
+		}
+		rebuilt.MustAddEdge(e)
+	}
+	// New dependences: producer feeds the store; each reload of
+	// iteration i reads what the store wrote d iterations earlier.
+	rebuilt.Flow(producer, st)
+	for _, d := range dists {
+		rebuilt.MustAddEdge(ddg.Edge{From: st, To: loadOf[d], Kind: ddg.Mem, Distance: d})
+	}
+	unspillable[producer] = true
+	*g = *rebuilt
+	return stores, loads
+}

@@ -1,0 +1,99 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/sched"
+)
+
+// Listing renders an assembly-like kernel listing of a scheduled,
+// allocated loop: one block per kernel row, one line per operation with
+// its stage, functional unit, destination register specifier and source
+// specifiers (with iteration-distance annotations), using the rotating
+// register files described by rm.
+//
+// Register naming: r<q> in a unified file, g<q> in the replicated global
+// region, l<c>.<q> in cluster c's local region.
+func Listing(s *sched.Schedule, rm RegMap) string {
+	g := s.Graph
+	var b strings.Builder
+	fmt.Fprintf(&b, "loop %s: II=%d, stages=%d, %d cluster(s)\n",
+		g.LoopName, s.II, s.Stages(), s.Mach.NumClusters())
+	sizes := rm.FileSizes()
+	for f, size := range sizes {
+		fmt.Fprintf(&b, "file %d: %d rotating registers\n", f, size)
+	}
+
+	type line struct {
+		fu, id int
+	}
+	rows := make([][]line, s.II)
+	for id := range g.Nodes() {
+		r := s.Slot(id)
+		rows[r] = append(rows[r], line{fu: s.FU[id], id: id})
+	}
+	for r, ops := range rows {
+		fmt.Fprintf(&b, "row %d:\n", r)
+		sort.Slice(ops, func(i, j int) bool { return ops[i].fu < ops[j].fu })
+		for _, op := range ops {
+			n := g.Node(op.id)
+			unit := s.Mach.Unit(op.fu)
+			dest := destName(rm, sizes, op.id)
+			fmt.Fprintf(&b, "  c%d.%-3s [stage %2d] %-10s %-6s %-8s %s\n",
+				unit.Cluster, unit.Kind, s.Stage(op.id), n.Label(), n.Op, dest,
+				sourceList(s, rm, sizes, n))
+		}
+	}
+	return b.String()
+}
+
+// destName renders the destination specifier(s) of a value.
+func destName(rm RegMap, sizes []int, node int) string {
+	targets := rm.WriteTargets(node)
+	if len(targets) == 0 {
+		return "-"
+	}
+	// Global values are written everywhere with the same specifier; one
+	// name suffices.
+	return regName(targets[0], sizes)
+}
+
+// sourceList renders the operand specifiers of a node in edge order.
+func sourceList(s *sched.Schedule, rm RegMap, sizes []int, n *ddg.Node) string {
+	var parts []string
+	for _, e := range s.Graph.InEdges(n.ID) {
+		if e.Kind != ddg.Flow {
+			continue
+		}
+		tgt, err := rm.ReadTarget(s.Cluster(n.ID), e.From)
+		name := "??"
+		if err == nil {
+			name = regName(tgt, sizes)
+		}
+		if e.Distance > 0 {
+			name = fmt.Sprintf("%s[-%d]", name, e.Distance)
+		}
+		parts = append(parts, name)
+	}
+	if n.Sym != "" {
+		parts = append(parts, "@"+n.Sym)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return strings.Join(parts, ", ")
+}
+
+// regName names a register target.
+func regName(t Target, sizes []int) string {
+	if len(sizes) == 1 {
+		return fmt.Sprintf("r%d", t.Spec)
+	}
+	if t.Base == 0 {
+		return fmt.Sprintf("g%d", t.Spec)
+	}
+	return fmt.Sprintf("l%d.%d", t.File, t.Spec)
+}

@@ -1,0 +1,87 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"ncdrf/internal/lifetime"
+	"ncdrf/internal/loops"
+	"ncdrf/internal/machine"
+	"ncdrf/internal/sched"
+)
+
+func TestListingUnified(t *testing.T) {
+	g := loops.PaperExample()
+	m := machine.Example()
+	s, err := sched.Run(g, m, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lts := lifetime.Compute(s)
+	u, err := NewUnifiedMap(lts, s.II)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Listing(s, u)
+	for _, want := range []string{
+		"loop paper-example: II=1, stages=14",
+		"file 0: 42 rotating registers",
+		"row 0:",
+		"L1", "fadd", "store", "@x", "@y",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("listing missing %q:\n%s", want, out)
+		}
+	}
+	// Unified names use r<q>.
+	if !strings.Contains(out, "r") {
+		t.Fatalf("no register names:\n%s", out)
+	}
+}
+
+func TestListingDual(t *testing.T) {
+	g := loops.PaperExample()
+	m := machine.Example()
+	s, err := sched.Run(g, m, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lts := lifetime.Compute(s)
+	d, err := NewDualMap(s, lts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Listing(s, d)
+	// L1 is global before swapping: its destination must be a g
+	// register; locals must appear as l<c>.<q>.
+	if !strings.Contains(out, "g") {
+		t.Fatalf("no global register names:\n%s", out)
+	}
+	if !strings.Contains(out, "l0.") || !strings.Contains(out, "l1.") {
+		t.Fatalf("missing local register names:\n%s", out)
+	}
+	if !strings.Contains(out, "file 0:") || !strings.Contains(out, "file 1:") {
+		t.Fatalf("missing file sizes:\n%s", out)
+	}
+}
+
+func TestListingLoopCarriedAnnotation(t *testing.T) {
+	g, ok := loops.KernelByName("lfk3-inner-product")
+	if !ok {
+		t.Fatal("missing kernel")
+	}
+	m := machine.Eval(3)
+	s, err := sched.Run(g, m, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lts := lifetime.Compute(s)
+	u, err := NewUnifiedMap(lts, s.II)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Listing(s, u)
+	if !strings.Contains(out, "[-1]") {
+		t.Fatalf("loop-carried operand not annotated:\n%s", out)
+	}
+}

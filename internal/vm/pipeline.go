@@ -1,0 +1,157 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/sched"
+)
+
+// regCell is one physical register with a shadow tag identifying the
+// value instance it currently holds, for precise clobber diagnostics.
+type regCell struct {
+	val      float64
+	producer int
+	iter     int
+	valid    bool
+}
+
+// pendingWrite is a register write in flight (issues at the producer's
+// issue cycle, lands at completion).
+type pendingWrite struct {
+	target Target
+	cell   regCell
+}
+
+// RunPipelined executes iters overlapped iterations of the modulo
+// schedule on simulated rotating register files described by rm,
+// returning the (non-spill) store stream. It fails on any register
+// clobber: if a consumer finds a different value instance than the
+// dataflow expects, the allocation or classification is broken.
+func RunPipelined(s *sched.Schedule, rm RegMap, iters int) (StoreStream, error) {
+	if iters < 1 {
+		return nil, fmt.Errorf("vm: iters = %d", iters)
+	}
+	if err := s.Verify(); err != nil {
+		return nil, fmt.Errorf("vm: invalid schedule: %w", err)
+	}
+	g := s.Graph
+
+	files := make([][]regCell, 0, len(rm.FileSizes()))
+	for _, size := range rm.FileSizes() {
+		files = append(files, make([]regCell, size))
+	}
+
+	// Event lists: issues and write completions bucketed by cycle.
+	type issue struct {
+		node, iter int
+	}
+	issuesAt := map[int][]issue{}
+	maxTime := 0
+	for id := range g.Nodes() {
+		for it := 0; it < iters; it++ {
+			t := s.Start[id] + it*s.II
+			issuesAt[t] = append(issuesAt[t], issue{node: id, iter: it})
+			end := t + s.Mach.Latency(g.Node(id).Op.FUKind())
+			if end > maxTime {
+				maxTime = end
+			}
+		}
+	}
+	writesAt := map[int][]pendingWrite{}
+
+	out := StoreStream{}
+	spillMem := map[int]map[int]float64{}
+
+	readOperand := func(n *ddg.Node, e ddg.Edge, iter int) (float64, error) {
+		fromIter := iter - e.Distance
+		if fromIter < 0 {
+			return initValue(g.Node(e.From).Label(), fromIter), nil
+		}
+		tgt, err := rm.ReadTarget(s.Cluster(n.ID), e.From)
+		if err != nil {
+			return 0, err
+		}
+		cell := files[tgt.File][tgt.physical(fromIter)]
+		if !cell.valid || cell.producer != e.From || cell.iter != fromIter {
+			return 0, fmt.Errorf(
+				"vm: clobbered register: %s iteration %d expected value of %s iteration %d in file %d reg %d, found %s",
+				n, iter, g.Node(e.From), fromIter, tgt.File, tgt.physical(fromIter), describeCell(g, cell))
+		}
+		return cell.val, nil
+	}
+
+	for t := 0; t <= maxTime; t++ {
+		// Writes land before same-cycle reads: a dependence scheduled at
+		// exactly producer-completion sees the fresh value (register
+		// file write-before-read, standard in VLIW datapaths).
+		for _, w := range writesAt[t] {
+			files[w.target.File][w.target.physical(w.cell.iter)] = w.cell
+		}
+		delete(writesAt, t)
+
+		issued := issuesAt[t]
+		// Deterministic processing order inside a cycle.
+		sort.Slice(issued, func(i, j int) bool {
+			if issued[i].node != issued[j].node {
+				return issued[i].node < issued[j].node
+			}
+			return issued[i].iter < issued[j].iter
+		})
+		for _, is := range issued {
+			n := g.Node(is.node)
+			var args []float64
+			for _, e := range g.InEdges(n.ID) {
+				if e.Kind != ddg.Flow {
+					continue
+				}
+				v, err := readOperand(n, e, is.iter)
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, v)
+			}
+			var result float64
+			switch {
+			case n.Op == ddg.LOAD && n.SpillSlot >= 0:
+				v, err := readSpill(spillMem, g, n, is.iter)
+				if err != nil {
+					return nil, err
+				}
+				result = v
+			case n.Op == ddg.LOAD:
+				result = loadValue(n.Label(), is.iter)
+			case n.Op == ddg.STORE && n.SpillSlot >= 0:
+				slot := spillMem[n.SpillSlot]
+				if slot == nil {
+					slot = map[int]float64{}
+					spillMem[n.SpillSlot] = slot
+				}
+				slot[is.iter] = storedValue(n, args)
+				continue
+			case n.Op == ddg.STORE:
+				out[StoreKey{Node: n.Label(), Iter: is.iter}] = storedValue(n, args)
+				continue
+			default:
+				result = compute(n, args)
+			}
+			// Schedule the register write at completion.
+			done := t + s.Mach.Latency(n.Op.FUKind())
+			for _, tgt := range rm.WriteTargets(n.ID) {
+				writesAt[done] = append(writesAt[done], pendingWrite{
+					target: tgt,
+					cell:   regCell{val: result, producer: n.ID, iter: is.iter, valid: true},
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+func describeCell(g *ddg.Graph, c regCell) string {
+	if !c.valid {
+		return "uninitialized register"
+	}
+	return fmt.Sprintf("%s iteration %d", g.Node(c.producer), c.iter)
+}

@@ -1,0 +1,253 @@
+// Package ncdrf is a library reproduction of "Non-Consistent Dual
+// Register Files to Reduce Register Pressure" (J. Llosa, M. Valero,
+// E. Ayguadé, HPCA 1995).
+//
+// The paper proposes implementing a VLIW processor's floating-point
+// register file as two independently addressed subfiles, one per cluster
+// of functional units: values consumed by both clusters are replicated in
+// both subfiles ("global" values), values consumed by a single cluster
+// are stored only there ("local" values). Because most register instances
+// are read exactly once, most values are local, so the organization holds
+// almost twice the values of a consistent dual file at identical area and
+// access time. A greedy post-scheduling pass that swaps same-cycle
+// operations between clusters reduces the register requirements further.
+//
+// This package is the public facade over the full pipeline:
+//
+//   - ParseLoop compiles a textual loop (LIR) into a dependence graph;
+//   - Compile modulo-schedules a loop onto a machine, classifies and
+//     allocates its values under a register-file model, and spills when
+//     the file is too small;
+//   - Requirements reports the register needs of all models at once;
+//   - Experiments regenerates every table and figure of the paper.
+//
+// See the examples directory for runnable walkthroughs and DESIGN.md for
+// the system inventory.
+package ncdrf
+
+import (
+	"fmt"
+	"io"
+
+	"ncdrf/internal/core"
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/lifetime"
+	"ncdrf/internal/lir"
+	"ncdrf/internal/loops"
+	"ncdrf/internal/machine"
+	"ncdrf/internal/sched"
+	"ncdrf/internal/spill"
+	"ncdrf/internal/vm"
+)
+
+// Model selects a register-file organization (the four models of the
+// paper's evaluation).
+type Model int
+
+const (
+	// Ideal is an infinite register file (performance upper bound).
+	Ideal Model = iota
+	// Unified is a single register file reachable by every functional
+	// unit; it also models the consistent (POWER2-style) dual file.
+	Unified
+	// Partitioned is the non-consistent dual register file.
+	Partitioned
+	// Swapped is Partitioned plus the greedy operation-swapping pass.
+	Swapped
+)
+
+// Models lists all models in the paper's presentation order.
+var Models = []Model{Ideal, Unified, Partitioned, Swapped}
+
+// String returns the paper's name for the model.
+func (m Model) String() string { return m.internal().String() }
+
+func (m Model) internal() core.Model {
+	switch m {
+	case Ideal:
+		return core.Ideal
+	case Unified:
+		return core.Unified
+	case Partitioned:
+		return core.Partitioned
+	case Swapped:
+		return core.Swapped
+	default:
+		panic(fmt.Sprintf("ncdrf: invalid model %d", int(m)))
+	}
+}
+
+// Loop is a compiled loop body: a single-basic-block data-dependence
+// graph plus a trip count.
+type Loop struct {
+	g *ddg.Graph
+}
+
+// ParseLoop compiles LIR source text into a Loop. See the lir package
+// documentation (internal/lir) for the grammar; in short:
+//
+//	loop daxpy trips 1000
+//	invariant a
+//	x1 = load x
+//	m1 = fmul a, x1
+//	y1 = load y
+//	s1 = fadd m1, y1
+//	store y, s1
+func ParseLoop(src string) (*Loop, error) {
+	g, err := lir.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Loop{g: g}, nil
+}
+
+// PaperExample returns the worked example loop of section 4 of the paper.
+func PaperExample() *Loop { return &Loop{g: loops.PaperExample()} }
+
+// KernelLoop returns a curated corpus kernel by name.
+func KernelLoop(name string) (*Loop, error) {
+	g, ok := loops.KernelByName(name)
+	if !ok {
+		return nil, fmt.Errorf("ncdrf: unknown kernel %q", name)
+	}
+	return &Loop{g: g}, nil
+}
+
+// KernelNames lists the curated corpus kernels.
+func KernelNames() []string { return loops.KernelNames() }
+
+// Name returns the loop's name.
+func (l *Loop) Name() string { return l.g.LoopName }
+
+// Ops returns the number of operations in the loop body.
+func (l *Loop) Ops() int { return l.g.NumNodes() }
+
+// Trips returns the loop's trip count used for dynamic weighting.
+func (l *Loop) Trips() int64 { return l.g.TripsOrOne() }
+
+// DOT writes the loop's dependence graph in Graphviz format.
+func (l *Loop) DOT(w io.Writer) error { return l.g.DOT(w) }
+
+// Machine describes a clustered VLIW target.
+type Machine struct {
+	cfg *machine.Config
+}
+
+// EvalMachine returns the paper's evaluation machine (section 5.2): two
+// clusters of {1 FP adder, 1 FP multiplier, 1 load/store unit}, with the
+// given floating-point latency (the paper uses 3 and 6) and single-cycle
+// memory.
+func EvalMachine(latency int) Machine { return Machine{cfg: machine.Eval(latency)} }
+
+// ExampleMachine returns the section 4 example machine: two clusters of
+// {1 adder, 1 multiplier, 2 load/store units}, latency 3/3/1.
+func ExampleMachine() Machine { return Machine{cfg: machine.Example()} }
+
+// TableMachine returns the Table 1 configuration PxLy: x adders and x
+// multipliers of latency y, one store and two load ports, unified.
+func TableMachine(x, y int) Machine { return Machine{cfg: machine.PxLy(x, y)} }
+
+// NewMachine builds a custom clustered machine. clusters[i] gives the
+// {adders, multipliers, memory ports} of cluster i.
+func NewMachine(name string, clusters [][3]int, addLat, mulLat, memLat int) (Machine, error) {
+	specs := make([]machine.ClusterSpec, len(clusters))
+	for i, c := range clusters {
+		specs[i] = machine.ClusterSpec{Adders: c[0], Multipliers: c[1], MemPorts: c[2]}
+	}
+	cfg, err := machine.New(name, specs, addLat, mulLat, memLat)
+	if err != nil {
+		return Machine{}, err
+	}
+	return Machine{cfg: cfg}, nil
+}
+
+// String describes the machine.
+func (m Machine) String() string { return m.cfg.String() }
+
+// Result is the outcome of compiling one loop under one model.
+type Result struct {
+	// Model is the register-file organization used.
+	Model Model
+	// II is the achieved initiation interval in cycles.
+	II int
+	// Registers is the register requirement of the final schedule
+	// (per subfile for the dual organizations); 0 for Ideal.
+	Registers int
+	// SpilledValues is the number of values the spiller pushed to
+	// memory to make the loop fit.
+	SpilledValues int
+	// MemOps is the number of memory operations per iteration,
+	// including spill code.
+	MemOps int
+	// Cycles is the steady-state execution time (II * trips).
+	Cycles int64
+	// Kernel is a printable rendering of the steady-state kernel.
+	Kernel string
+}
+
+// Compile runs the full pipeline for one loop: modulo scheduling, value
+// classification, rotating register allocation under the model, and the
+// naive spill loop when regs registers (per subfile) do not suffice.
+// regs <= 0 means unlimited.
+func Compile(l *Loop, m Machine, model Model, regs int) (*Result, error) {
+	cm := model.internal()
+	res, err := spill.Run(l.g, m.cfg, regsFor(model, regs), core.Fit(cm), sched.Options{})
+	if err != nil {
+		return nil, err
+	}
+	lts := lifetime.Compute(res.Sched)
+	req := 0
+	final := res.Sched
+	if model != Ideal {
+		req, final, err = core.Requirement(cm, res.Sched, lts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		Model:         model,
+		II:            final.II,
+		Registers:     req,
+		SpilledValues: res.SpilledValues,
+		MemOps:        res.MemOps(),
+		Cycles:        int64(final.II) * l.g.TripsOrOne(),
+		Kernel:        final.Kernel(),
+	}, nil
+}
+
+func regsFor(model Model, regs int) int {
+	if model == Ideal {
+		return 0
+	}
+	return regs
+}
+
+// Verify compiles the loop under the model (spilling at the given file
+// size, 0 = unlimited), executes the result on simulated rotating
+// register files — unified or non-consistent dual, per the model — for
+// iters iterations, and compares every stored value bit-for-bit against
+// a sequential reference execution of the original loop. A nil return
+// certifies the schedule, the allocation, the classification and any
+// spill code for this loop.
+func Verify(l *Loop, m Machine, model Model, regs, iters int) error {
+	return vm.VerifyModel(l.g, m.cfg, model.internal(), regs, iters)
+}
+
+// Requirements returns the unlimited-register requirement of the loop
+// under every model (Ideal maps to 0), plus the schedule's II.
+func Requirements(l *Loop, m Machine) (map[Model]int, int, error) {
+	s, err := sched.Run(l.g, m.cfg, sched.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	lts := lifetime.Compute(s)
+	out := make(map[Model]int, len(Models))
+	for _, model := range Models {
+		req, _, err := core.Requirement(model.internal(), s, lts)
+		if err != nil {
+			return nil, 0, err
+		}
+		out[model] = req
+	}
+	return out, s.II, nil
+}

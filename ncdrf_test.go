@@ -1,0 +1,190 @@
+package ncdrf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPaperExampleThroughFacade(t *testing.T) {
+	l := PaperExample()
+	if l.Name() != "paper-example" || l.Ops() != 7 {
+		t.Fatalf("loop = %s/%d ops", l.Name(), l.Ops())
+	}
+	reqs, ii, err := Requirements(l, ExampleMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ii != 1 {
+		t.Fatalf("II = %d", ii)
+	}
+	want := map[Model]int{Ideal: 0, Unified: 42, Partitioned: 29, Swapped: 23}
+	for model, w := range want {
+		if reqs[model] != w {
+			t.Errorf("%v = %d, want %d", model, reqs[model], w)
+		}
+	}
+}
+
+func TestParseLoopAndCompile(t *testing.T) {
+	l, err := ParseLoop(`
+loop demo trips 500
+invariant a
+x1 = load x
+m1 = fmul a, x1
+y1 = load y
+s1 = fadd m1, y1
+store y, s1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Trips() != 500 {
+		t.Fatalf("trips = %d", l.Trips())
+	}
+	res, err := Compile(l, EvalMachine(3), Unified, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.II < 2 {
+		t.Fatalf("II = %d (3 mem ops on 2 ports need >= 2)", res.II)
+	}
+	if res.SpilledValues != 0 {
+		t.Fatal("no spill expected at 64 registers")
+	}
+	if res.Cycles != int64(res.II)*500 {
+		t.Fatalf("cycles = %d", res.Cycles)
+	}
+	if !strings.Contains(res.Kernel, "row 0:") {
+		t.Fatalf("kernel rendering missing:\n%s", res.Kernel)
+	}
+}
+
+func TestParseLoopRejectsGarbage(t *testing.T) {
+	if _, err := ParseLoop("not a loop"); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestCompileSpillsWhenTight(t *testing.T) {
+	l := PaperExample()
+	res, err := Compile(l, ExampleMachine(), Unified, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpilledValues == 0 {
+		t.Fatal("expected spilling at 32 unified registers")
+	}
+	if res.Registers > 32 {
+		t.Fatalf("final requirement %d > 32", res.Registers)
+	}
+	dual, err := Compile(l, ExampleMachine(), Swapped, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dual.SpilledValues != 0 {
+		t.Fatal("swapped must fit in 32 without spilling")
+	}
+	if dual.Registers != 23 {
+		t.Fatalf("swapped requirement = %d, want 23", dual.Registers)
+	}
+}
+
+func TestKernelLoopLookup(t *testing.T) {
+	names := KernelNames()
+	if len(names) < 40 {
+		t.Fatalf("only %d kernels", len(names))
+	}
+	l, err := KernelLoop("daxpy")
+	if err != nil || l.Name() != "daxpy" {
+		t.Fatalf("KernelLoop: %v", err)
+	}
+	if _, err := KernelLoop("missing"); err == nil {
+		t.Fatal("want error for unknown kernel")
+	}
+}
+
+func TestNewMachineValidation(t *testing.T) {
+	m, err := NewMachine("custom", [][3]int{{1, 1, 1}, {1, 1, 1}}, 4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.String(), "custom") {
+		t.Fatal("machine name lost")
+	}
+	if _, err := NewMachine("bad", nil, 3, 3, 1); err == nil {
+		t.Fatal("want error for empty machine")
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	want := map[Model]string{Ideal: "ideal", Unified: "unified", Partitioned: "partitioned", Swapped: "swapped"}
+	for m, s := range want {
+		if m.String() != s {
+			t.Fatalf("%d.String() = %q", int(m), m.String())
+		}
+	}
+}
+
+func TestVerifyThroughFacade(t *testing.T) {
+	l := PaperExample()
+	m := ExampleMachine()
+	for _, model := range []Model{Unified, Partitioned, Swapped} {
+		if err := Verify(l, m, model, 0, 20); err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+	}
+	// With spilling.
+	if err := Verify(l, m, Unified, 32, 20); err != nil {
+		t.Fatalf("spilled verify: %v", err)
+	}
+}
+
+func TestLoopDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PaperExample().DOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "digraph") {
+		t.Fatal("DOT output malformed")
+	}
+}
+
+func TestRenderTable1KernelsOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTable1(CorpusOptions{KernelsOnly: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "P1L3", "P2L6"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFiguresSmallCorpus(t *testing.T) {
+	opts := CorpusOptions{Loops: 25, Seed: 42}
+	var buf bytes.Buffer
+	if err := RenderFig6(opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 6 (latency 3)") ||
+		!strings.Contains(buf.String(), "Figure 6 (latency 6)") {
+		t.Fatalf("fig6 output incomplete:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := RenderFig7(opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 7") {
+		t.Fatal("fig7 missing")
+	}
+	buf.Reset()
+	if err := RenderFig8And9(opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 8") || !strings.Contains(buf.String(), "Figure 9") {
+		t.Fatal("fig8/9 missing")
+	}
+}
