@@ -10,6 +10,7 @@
 package ncdrf
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -26,6 +27,7 @@ import (
 	"ncdrf/internal/regfile"
 	"ncdrf/internal/sched"
 	"ncdrf/internal/spill"
+	"ncdrf/internal/sweep"
 	"ncdrf/internal/vm"
 )
 
@@ -46,7 +48,9 @@ func BenchmarkTable1(b *testing.B) {
 	corpus := benchCorpus()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Table1(corpus)
+		// A fresh engine per iteration keeps the cache cold, so the
+		// benchmark measures a from-scratch regeneration.
+		res, err := experiment.Table1(context.Background(), sweep.New(0), corpus)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -124,7 +128,7 @@ func BenchmarkFigure6(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, lat := range []int{3, 6} {
-			res, err := experiment.Fig6(corpus, lat)
+			res, err := experiment.Fig6(context.Background(), sweep.New(0), corpus, lat)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -141,7 +145,7 @@ func BenchmarkFigure7(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, lat := range []int{3, 6} {
-			res, err := experiment.Fig7(corpus, lat)
+			res, err := experiment.Fig7(context.Background(), sweep.New(0), corpus, lat)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -158,7 +162,7 @@ func BenchmarkFigure8And9(b *testing.B) {
 	corpus := benchCorpus()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Fig8and9(corpus, nil)
+		res, err := experiment.Fig8and9(context.Background(), sweep.New(0), corpus, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -169,6 +173,37 @@ func BenchmarkFigure8And9(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPaperPipelineSharedCache regenerates Table 1 plus Figures 6-9
+// on ONE shared engine, the way `ncdrf all` runs: the schedule cache
+// shares identical scheduling work across the exhibits. Compare against
+// the sum of the cold-cache benchmarks above to see the saving.
+func BenchmarkPaperPipelineSharedCache(b *testing.B) {
+	corpus := benchCorpus()
+	ctx := context.Background()
+	var st sweep.CacheStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sweep.New(0)
+		if _, err := experiment.Table1(ctx, eng, corpus); err != nil {
+			b.Fatal(err)
+		}
+		for _, lat := range []int{3, 6} {
+			if _, err := experiment.Fig6(ctx, eng, corpus, lat); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := experiment.Fig7(ctx, eng, corpus, lat); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := experiment.Fig8and9(ctx, eng, corpus, nil); err != nil {
+			b.Fatal(err)
+		}
+		st = eng.Cache().Stats()
+	}
+	b.ReportMetric(float64(st.Hits), "hits/op")
+	b.ReportMetric(float64(st.Misses), "misses/op")
 }
 
 // BenchmarkRegfileModel evaluates the section 3.2 area/access-time model

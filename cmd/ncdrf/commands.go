@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"ncdrf/internal/regfile"
 	"ncdrf/internal/report"
 	"ncdrf/internal/sched"
+	"ncdrf/internal/sweep"
 )
 
 func buildCorpus(o corpusOpts) []*ddg.Graph {
@@ -96,14 +98,14 @@ func cmdExample(args []string) error {
 	return tb.Render(os.Stdout)
 }
 
-func cmdTable1(args []string) error {
+func cmdTable1(ctx context.Context, eng *sweep.Engine, args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	o := corpusFlags(fs)
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := experiment.Table1(buildCorpus(o))
+	res, err := experiment.Table1(ctx, eng, buildCorpus(o))
 	if err != nil {
 		return err
 	}
@@ -113,7 +115,7 @@ func cmdTable1(args []string) error {
 	return res.Render(os.Stdout)
 }
 
-func cmdFigCDF(args []string, dynamic bool) error {
+func cmdFigCDF(ctx context.Context, eng *sweep.Engine, args []string, dynamic bool) error {
 	fs := flag.NewFlagSet("figcdf", flag.ExitOnError)
 	o := corpusFlags(fs)
 	chart := fs.Bool("chart", false, "render as an ASCII line chart instead of a table")
@@ -126,9 +128,9 @@ func cmdFigCDF(args []string, dynamic bool) error {
 		var res *experiment.CDFResult
 		var err error
 		if dynamic {
-			res, err = experiment.Fig7(corpus, lat)
+			res, err = experiment.Fig7(ctx, eng, corpus, lat)
 		} else {
-			res, err = experiment.Fig6(corpus, lat)
+			res, err = experiment.Fig6(ctx, eng, corpus, lat)
 		}
 		if err != nil {
 			return err
@@ -149,13 +151,13 @@ func cmdFigCDF(args []string, dynamic bool) error {
 	return nil
 }
 
-func cmdFigPerf(args []string, wantPerf, wantDensity bool) error {
+func cmdFigPerf(ctx context.Context, eng *sweep.Engine, args []string, wantPerf, wantDensity bool) error {
 	fs := flag.NewFlagSet("figperf", flag.ExitOnError)
 	o := corpusFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := experiment.Fig8and9(buildCorpus(o), nil)
+	res, err := experiment.Fig8and9(ctx, eng, buildCorpus(o), nil)
 	if err != nil {
 		return err
 	}
@@ -172,7 +174,7 @@ func cmdFigPerf(args []string, wantPerf, wantDensity bool) error {
 	return nil
 }
 
-func cmdAll(args []string) error {
+func cmdAll(ctx context.Context, eng *sweep.Engine, args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	o := corpusFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -186,7 +188,7 @@ func cmdAll(args []string) error {
 	}
 	fmt.Println()
 
-	t1, err := experiment.Table1(corpus)
+	t1, err := experiment.Table1(ctx, eng, corpus)
 	if err != nil {
 		return err
 	}
@@ -198,9 +200,9 @@ func cmdAll(args []string) error {
 		for _, lat := range []int{3, 6} {
 			var res *experiment.CDFResult
 			if dynamic {
-				res, err = experiment.Fig7(corpus, lat)
+				res, err = experiment.Fig7(ctx, eng, corpus, lat)
 			} else {
-				res, err = experiment.Fig6(corpus, lat)
+				res, err = experiment.Fig6(ctx, eng, corpus, lat)
 			}
 			if err != nil {
 				return err
@@ -211,7 +213,7 @@ func cmdAll(args []string) error {
 			fmt.Println()
 		}
 	}
-	p, err := experiment.Fig8and9(corpus, nil)
+	p, err := experiment.Fig8and9(ctx, eng, corpus, nil)
 	if err != nil {
 		return err
 	}
@@ -223,7 +225,7 @@ func cmdAll(args []string) error {
 		return err
 	}
 	fmt.Println()
-	cs, err := experiment.ClusterScaling(corpus, 6, nil)
+	cs, err := experiment.ClusterScaling(ctx, eng, corpus, 6, nil)
 	if err != nil {
 		return err
 	}
@@ -235,12 +237,13 @@ func cmdAll(args []string) error {
 		return err
 	}
 	fmt.Println()
-	n, err := experiment.VerifySample(corpus, machine.Eval(6), 0, 10, 25)
+	n, err := experiment.VerifySample(ctx, eng, corpus, machine.Eval(6), 0, 10, 25)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("functional verification: %d loop/model combinations executed on the simulated\n", n)
 	fmt.Printf("rotating register files, all bit-identical to the sequential reference\n")
+	fmt.Printf("\nschedule cache: %s\n", eng.Cache().Stats())
 	return nil
 }
 

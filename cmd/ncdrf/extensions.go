@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"os"
 
 	"ncdrf/internal/experiment"
+	"ncdrf/internal/sweep"
 )
 
 // cmdStats prints workload statistics, including the section 3.3
@@ -20,14 +22,14 @@ func cmdStats(args []string) error {
 
 // cmdClusters runs the cluster-scaling extension study (1, 2 and 4
 // clusters).
-func cmdClusters(args []string) error {
+func cmdClusters(ctx context.Context, eng *sweep.Engine, args []string) error {
 	fs := flag.NewFlagSet("clusters", flag.ExitOnError)
 	o := corpusFlags(fs)
 	lat := fs.Int("lat", 6, "floating-point latency (3 or 6)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := experiment.ClusterScaling(buildCorpus(o), *lat, nil)
+	res, err := experiment.ClusterScaling(ctx, eng, buildCorpus(o), *lat, nil)
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,7 @@
 //	ncdrf fig8 [flags]                Figure 8 (relative performance)
 //	ncdrf fig9 [flags]                Figure 9 (memory traffic density)
 //	ncdrf all [flags]                 every table and figure
+//	ncdrf sweep [flags]               arbitrary evaluation grid, JSON output
 //	ncdrf schedule -loop <name>       schedule one kernel and print it
 //	ncdrf alloc -loop <name>          allocate one kernel under all models
 //	ncdrf kernels                     list curated kernels
@@ -24,9 +25,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+
+	"ncdrf/internal/sweep"
 )
 
 func main() {
@@ -34,23 +39,35 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// One engine per process: every experiment command shares the same
+	// schedule cache and worker pool, and an interrupt cancels the sweep.
+	// After the first interrupt the handler unregisters, so a second
+	// Ctrl-C kills the process the default way instead of being
+	// swallowed while in-flight work drains.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+	eng := sweep.New(0)
+
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
 	case "example":
 		err = cmdExample(args)
 	case "table1":
-		err = cmdTable1(args)
+		err = cmdTable1(ctx, eng, args)
 	case "fig6":
-		err = cmdFigCDF(args, false)
+		err = cmdFigCDF(ctx, eng, args, false)
 	case "fig7":
-		err = cmdFigCDF(args, true)
+		err = cmdFigCDF(ctx, eng, args, true)
 	case "fig8":
-		err = cmdFigPerf(args, true, false)
+		err = cmdFigPerf(ctx, eng, args, true, false)
 	case "fig9":
-		err = cmdFigPerf(args, false, true)
+		err = cmdFigPerf(ctx, eng, args, false, true)
 	case "all":
-		err = cmdAll(args)
+		err = cmdAll(ctx, eng, args)
+	case "sweep":
+		err = cmdSweep(ctx, eng, args)
 	case "schedule":
 		err = cmdSchedule(args)
 	case "alloc":
@@ -72,7 +89,7 @@ func main() {
 	case "stats":
 		err = cmdStats(args)
 	case "clusters":
-		err = cmdClusters(args)
+		err = cmdClusters(ctx, eng, args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -97,6 +114,8 @@ commands:
   fig8       Figure 8: performance with 32/64 registers
   fig9       Figure 9: density of memory traffic
   all        all of the above
+  sweep      arbitrary corpus x latency x model x register-size grid,
+             streamed as JSON lines (-lats, -models, -regs, -clusters)
   schedule   modulo-schedule one kernel (-loop name, -lat 3|6)
   alloc      register requirements of one kernel under every model
   kernels    list the curated kernel corpus

@@ -2,10 +2,18 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
+
+	"ncdrf/internal/sweep"
 )
+
+var ctx0 = context.Background()
+
+func testEng() *sweep.Engine { return sweep.New(0) }
 
 // capture runs fn with os.Stdout redirected to a pipe and returns what it
 // printed.
@@ -43,22 +51,24 @@ func TestCmdExample(t *testing.T) {
 }
 
 func TestCmdTable1KernelsOnly(t *testing.T) {
-	out := capture(t, func() error { return cmdTable1([]string{"-kernels-only"}) })
+	out := capture(t, func() error { return cmdTable1(ctx0, testEng(), []string{"-kernels-only"}) })
 	if !strings.Contains(out, "P2L6") {
 		t.Fatalf("table1 output missing P2L6:\n%s", out)
 	}
-	csv := capture(t, func() error { return cmdTable1([]string{"-kernels-only", "-csv"}) })
+	csv := capture(t, func() error { return cmdTable1(ctx0, testEng(), []string{"-kernels-only", "-csv"}) })
 	if !strings.HasPrefix(csv, "config,") {
 		t.Fatalf("csv output malformed:\n%s", csv)
 	}
 }
 
 func TestCmdFigsSmall(t *testing.T) {
-	out := capture(t, func() error { return cmdFigCDF([]string{"-loops", "15", "-seed", "3"}, false) })
+	out := capture(t, func() error { return cmdFigCDF(ctx0, testEng(), []string{"-loops", "15", "-seed", "3"}, false) })
 	if !strings.Contains(out, "Figure 6 (latency 3)") || !strings.Contains(out, "Figure 6 (latency 6)") {
 		t.Fatalf("fig6 incomplete:\n%s", out)
 	}
-	chart := capture(t, func() error { return cmdFigCDF([]string{"-loops", "15", "-seed", "3", "-chart"}, true) })
+	chart := capture(t, func() error {
+		return cmdFigCDF(ctx0, testEng(), []string{"-loops", "15", "-seed", "3", "-chart"}, true)
+	})
 	if !strings.Contains(chart, "legend:") {
 		t.Fatalf("chart missing legend:\n%s", chart)
 	}
@@ -137,9 +147,66 @@ func TestCmdVerifySingleLoop(t *testing.T) {
 }
 
 func TestCmdClustersSmall(t *testing.T) {
-	out := capture(t, func() error { return cmdClusters([]string{"-kernels-only", "-lat", "3"}) })
+	out := capture(t, func() error { return cmdClusters(ctx0, testEng(), []string{"-kernels-only", "-lat", "3"}) })
 	if !strings.Contains(out, "cluster scaling") {
 		t.Fatalf("clusters output wrong:\n%s", out)
+	}
+}
+
+func TestCmdSweepJSON(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdSweep(ctx0, testEng(), []string{
+			"-kernels-only", "-lats", "6", "-models", "unified,swapped", "-regs", "24,48", "-stats"})
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// 22 kernels x 1 machine x 2 models x 2 sizes, plus the stats object.
+	nKernels := strings.Count(capture(t, func() error { return cmdKernels(nil) }), "\n") - 1
+	want := nKernels*2*2 + 1
+	if len(lines) != want {
+		t.Fatalf("emitted %d JSON lines, want %d:\n%s", len(lines), want, out)
+	}
+	var r struct {
+		Loop    string `json:"loop"`
+		Machine string `json:"machine"`
+		Model   string `json:"model"`
+		Regs    int    `json:"regs"`
+		II      int    `json:"ii"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &r); err != nil {
+		t.Fatalf("first line is not JSON: %v\n%s", err, lines[0])
+	}
+	if r.Loop == "" || r.Machine != "eval-L6" || r.II < 1 {
+		t.Fatalf("malformed result: %+v", r)
+	}
+	var st map[string]uint64
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &st); err != nil {
+		t.Fatalf("stats line is not JSON: %v", err)
+	}
+	// Iteration-0 schedules are shared across the two models and sizes,
+	// so both counters must be live.
+	if st["cache_misses"] == 0 || st["cache_hits"] == 0 {
+		t.Fatalf("degenerate cache stats: %v", st)
+	}
+}
+
+func TestCmdSweepEmptyLists(t *testing.T) {
+	for _, args := range [][]string{
+		{"-lats", ""},
+		{"-models", " "},
+		{"-regs", ","},
+	} {
+		if err := cmdSweep(ctx0, testEng(), args); err == nil {
+			t.Fatalf("empty list %v must error", args)
+		}
+	}
+}
+
+func TestCmdSweepBadFlags(t *testing.T) {
+	if err := cmdSweep(ctx0, testEng(), []string{"-models", "bogus"}); err == nil {
+		t.Fatal("unknown model must error")
+	}
+	if err := cmdSweep(ctx0, testEng(), []string{"-lats", "x"}); err == nil {
+		t.Fatal("bad latency list must error")
 	}
 }
 

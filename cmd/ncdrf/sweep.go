@@ -1,0 +1,146 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ncdrf/internal/core"
+	"ncdrf/internal/experiment"
+	"ncdrf/internal/machine"
+	"ncdrf/internal/sweep"
+)
+
+// cmdSweep runs an arbitrary (corpus x latency x model x register-size)
+// grid on the sweep engine and streams one JSON object per work unit to
+// stdout, making the tool usable for workloads beyond the paper's fixed
+// figures (e.g. `-regs 8,16,24,...,128 -models swapped` for a register
+// sensitivity curve, or `-clusters 4` for a wider machine).
+func cmdSweep(ctx context.Context, eng *sweep.Engine, args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	o := corpusFlags(fs)
+	lats := fs.String("lats", "3,6", "comma-separated floating-point latencies")
+	models := fs.String("models", "ideal,unified,partitioned,swapped", "comma-separated models")
+	regs := fs.String("regs", "32,64", "comma-separated register-file sizes (0 = unlimited)")
+	clusters := fs.Int("clusters", 2, "clusters per machine (2 = the paper's evaluation machine)")
+	stats := fs.Bool("stats", false, "append a cache-stats JSON object")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	latList, err := parseIntList(*lats)
+	if err != nil {
+		return fmt.Errorf("-lats: %w", err)
+	}
+	if len(latList) == 0 {
+		return fmt.Errorf("-lats: no latencies given")
+	}
+	for _, lat := range latList {
+		if lat < 1 {
+			return fmt.Errorf("-lats: latency must be >= 1, got %d", lat)
+		}
+	}
+	if *clusters < 1 {
+		return fmt.Errorf("-clusters: must be >= 1, got %d", *clusters)
+	}
+	regList, err := parseIntList(*regs)
+	if err != nil {
+		return fmt.Errorf("-regs: %w", err)
+	}
+	if len(regList) == 0 {
+		return fmt.Errorf("-regs: no sizes given (use 0 for an unlimited file)")
+	}
+	for _, r := range regList {
+		if r < 0 {
+			return fmt.Errorf("-regs: sizes must be >= 0 (0 = unlimited), got %d", r)
+		}
+	}
+	var modelList []core.Model
+	for _, name := range splitList(*models) {
+		m, err := core.ParseModel(name)
+		if err != nil {
+			return err
+		}
+		modelList = append(modelList, m)
+	}
+	if len(modelList) == 0 {
+		return fmt.Errorf("-models: no models given")
+	}
+	var machines []*machine.Config
+	for _, lat := range latList {
+		machines = append(machines, experiment.EvalN(*clusters, lat))
+	}
+
+	grid := sweep.Grid{
+		Corpus:   buildCorpus(o),
+		Machines: machines,
+		Models:   modelList,
+		Regs:     regList,
+	}
+	if err := runSweep(ctx, eng, grid, os.Stdout, *stats); err != nil {
+		return err
+	}
+	return nil
+}
+
+// runSweep streams the grid's results as JSON lines; split out from
+// cmdSweep so tests can capture the stream. A dead output (e.g. a
+// closed pipe) cancels the sweep instead of burning CPU on results
+// nobody will see.
+func runSweep(ctx context.Context, eng *sweep.Engine, grid sweep.Grid, w io.Writer, stats bool) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	enc := json.NewEncoder(w)
+	var encErr error // only written under Sweep's serialized emit
+	err := eng.Sweep(ctx, grid, func(r sweep.Result) {
+		if encErr != nil {
+			return
+		}
+		if e := enc.Encode(r); e != nil {
+			encErr = e
+			cancel()
+		}
+	})
+	if encErr != nil {
+		return fmt.Errorf("writing results: %w", encErr)
+	}
+	if err != nil {
+		return err
+	}
+	if stats {
+		s := eng.Cache().Stats()
+		return enc.Encode(map[string]uint64{
+			"cache_requests": s.Requests(),
+			"cache_hits":     s.Hits,
+			"cache_misses":   s.Misses,
+		})
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,12 +1,14 @@
 package ncdrf
 
 import (
+	"context"
 	"io"
 
 	"ncdrf/internal/ddg"
 	"ncdrf/internal/experiment"
 	"ncdrf/internal/loopgen"
 	"ncdrf/internal/loops"
+	"ncdrf/internal/sweep"
 )
 
 // CorpusOptions selects the evaluation workload for the experiment
@@ -39,7 +41,7 @@ func (o CorpusOptions) build() []*ddg.Graph {
 // of cycles allocatable without spilling in 16/32/64 registers, for the
 // four PxLy configurations) and writes it to w.
 func RenderTable1(opts CorpusOptions, w io.Writer) error {
-	res, err := experiment.Table1(opts.build())
+	res, err := experiment.Table1(context.Background(), sweep.New(0), opts.build())
 	if err != nil {
 		return err
 	}
@@ -60,13 +62,14 @@ func RenderFig7(opts CorpusOptions, w io.Writer) error {
 
 func renderCDF(opts CorpusOptions, w io.Writer, dynamic bool) error {
 	corpus := opts.build()
+	ctx, eng := context.Background(), sweep.New(0)
 	for _, lat := range []int{3, 6} {
 		var res *experiment.CDFResult
 		var err error
 		if dynamic {
-			res, err = experiment.Fig7(corpus, lat)
+			res, err = experiment.Fig7(ctx, eng, corpus, lat)
 		} else {
-			res, err = experiment.Fig6(corpus, lat)
+			res, err = experiment.Fig6(ctx, eng, corpus, lat)
 		}
 		if err != nil {
 			return err
@@ -85,7 +88,7 @@ func renderCDF(opts CorpusOptions, w io.Writer, dynamic bool) error {
 // 64 registers) and 9 (density of memory traffic) in one pass, since
 // they share all the computation.
 func RenderFig8And9(opts CorpusOptions, w io.Writer) error {
-	res, err := experiment.Fig8and9(opts.build(), nil)
+	res, err := experiment.Fig8and9(context.Background(), sweep.New(0), opts.build(), nil)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module ncdrf
+
+go 1.24

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -10,6 +11,7 @@ import (
 	"ncdrf/internal/machine"
 	"ncdrf/internal/report"
 	"ncdrf/internal/sched"
+	"ncdrf/internal/sweep"
 )
 
 // ClusterScalingRow is one machine width in the cluster-scaling
@@ -33,6 +35,12 @@ type ClusterScalingResult struct {
 // (the organization "could be applied to other processor
 // implementations").
 func EvalN(n, lat int) *machine.Config {
+	if n == 2 {
+		// Identical to the paper's evaluation machine; returning it by
+		// its canonical name keeps the name-keyed schedule cache shared
+		// between the cluster study and the figure runners.
+		return machine.Eval(lat)
+	}
 	specs := make([]machine.ClusterSpec, n)
 	for i := range specs {
 		specs[i] = machine.ClusterSpec{Adders: 1, Multipliers: 1, MemPorts: 1}
@@ -44,7 +52,7 @@ func EvalN(n, lat int) *machine.Config {
 // widens from one to several clusters: more clusters mean more
 // parallelism (lower II) but also more cross-cluster consumers, testing
 // how far the non-consistent organization's advantage extends.
-func ClusterScaling(corpus []*ddg.Graph, lat int, clusterCounts []int) (*ClusterScalingResult, error) {
+func ClusterScaling(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, lat int, clusterCounts []int) (*ClusterScalingResult, error) {
 	if len(clusterCounts) == 0 {
 		clusterCounts = []int{1, 2, 4}
 	}
@@ -57,9 +65,9 @@ func ClusterScaling(corpus []*ddg.Graph, lat int, clusterCounts []int) (*Cluster
 			regs [core.NumModels]int
 		}
 		accs := make([]acc, len(corpus))
-		err := forEach(len(corpus), func(i int) error {
+		err := eng.ForEach(ctx, len(corpus), func(i int) error {
 			g := corpus[i]
-			s, err := sched.Run(g, m, sched.Options{})
+			s, err := eng.Schedule(g, m, sched.Options{})
 			if err != nil {
 				return fmt.Errorf("%s on %s: %w", g.LoopName, m.Name(), err)
 			}

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,14 @@ import (
 	"ncdrf/internal/loops"
 	"ncdrf/internal/machine"
 	"ncdrf/internal/perf"
+	"ncdrf/internal/sweep"
 )
+
+// testEng returns a fresh engine; ctx0 is shorthand for the background
+// context the tests run under.
+func testEng() *sweep.Engine { return sweep.New(0) }
+
+var ctx0 = context.Background()
 
 // smallCorpus keeps unit tests fast while exercising the full pipeline.
 func smallCorpus() []*ddg.Graph {
@@ -34,7 +42,7 @@ func TestCorpusComposition(t *testing.T) {
 
 func TestRegisterSweepOrdering(t *testing.T) {
 	corpus := smallCorpus()
-	reqs, err := RegisterSweep(corpus, machine.Eval(6))
+	reqs, err := RegisterSweep(ctx0, testEng(), corpus, machine.Eval(6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +77,7 @@ func TestSweepShapePartitionedHelps(t *testing.T) {
 	// Aggregate shape: over the corpus, partitioned requirements must be
 	// no larger than unified for the vast majority of loops, and the
 	// totals must order unified >= partitioned >= swapped.
-	reqs, err := RegisterSweep(smallCorpus(), machine.Eval(6))
+	reqs, err := RegisterSweep(ctx0, testEng(), smallCorpus(), machine.Eval(6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +100,7 @@ func TestSweepShapePartitionedHelps(t *testing.T) {
 }
 
 func TestTable1ShapeAndRender(t *testing.T) {
-	res, err := Table1(smallCorpus())
+	res, err := Table1(ctx0, testEng(), smallCorpus())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,11 +140,11 @@ func TestTable1ShapeAndRender(t *testing.T) {
 func TestFig6And7Shape(t *testing.T) {
 	corpus := smallCorpus()
 	for _, lat := range []int{3, 6} {
-		stat, err := Fig6(corpus, lat)
+		stat, err := Fig6(ctx0, testEng(), corpus, lat)
 		if err != nil {
 			t.Fatal(err)
 		}
-		dyn, err := Fig7(corpus, lat)
+		dyn, err := Fig7(ctx0, testEng(), corpus, lat)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -181,11 +189,11 @@ func TestFig6And7Shape(t *testing.T) {
 
 func TestLatencySixNeedsMoreRegisters(t *testing.T) {
 	corpus := smallCorpus()
-	l3, err := Fig6(corpus, 3)
+	l3, err := Fig6(ctx0, testEng(), corpus, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	l6, err := Fig6(corpus, 6)
+	l6, err := Fig6(ctx0, testEng(), corpus, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,21 +209,21 @@ func TestLatencySixNeedsMoreRegisters(t *testing.T) {
 func TestCompileLoopIdealVsLimited(t *testing.T) {
 	g := loops.PaperExample()
 	m := machine.Example()
-	ideal, err := CompileLoop(g, m, core.Ideal, 0)
+	ideal, err := CompileLoop(testEng(), g, m, core.Ideal, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ideal.II != 1 || ideal.MemOps != 3 || ideal.Spilled != 0 {
 		t.Fatalf("ideal run = %+v", ideal)
 	}
-	limited, err := CompileLoop(g, m, core.Unified, 32)
+	limited, err := CompileLoop(testEng(), g, m, core.Unified, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if limited.Spilled == 0 || limited.MemOps <= 3 {
 		t.Fatalf("unified@32 must spill: %+v", limited)
 	}
-	dual, err := CompileLoop(g, m, core.Partitioned, 32)
+	dual, err := CompileLoop(testEng(), g, m, core.Partitioned, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +234,7 @@ func TestCompileLoopIdealVsLimited(t *testing.T) {
 
 func TestFig8and9SmallCorpusShape(t *testing.T) {
 	corpus := smallCorpus()
-	res, err := Fig8and9(corpus, []PerfConfig{{6, 32}})
+	res, err := Fig8and9(ctx0, testEng(), corpus, []PerfConfig{{6, 32}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +277,7 @@ func TestFig8and9SmallCorpusShape(t *testing.T) {
 
 func TestModelRunsCounts(t *testing.T) {
 	corpus := smallCorpus()[:10]
-	runs, err := ModelRuns(corpus, machine.Eval(3), core.Unified, 64)
+	runs, err := ModelRuns(ctx0, testEng(), corpus, machine.Eval(3), core.Unified, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,14 +295,14 @@ func TestVerifySampleIntegration(t *testing.T) {
 	// unlimited registers and with a tight 24-register file.
 	corpus := smallCorpus()
 	m := machine.Eval(6)
-	n, err := VerifySample(corpus, m, 0, 10, 7)
+	n, err := VerifySample(ctx0, testEng(), corpus, m, 0, 10, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n < 10 {
 		t.Fatalf("verified only %d combinations", n)
 	}
-	n, err = VerifySample(corpus, m, 24, 10, 11)
+	n, err = VerifySample(ctx0, testEng(), corpus, m, 24, 10, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,27 +310,6 @@ func TestVerifySampleIntegration(t *testing.T) {
 		t.Fatalf("verified only %d spilled combinations", n)
 	}
 }
-
-func TestForEachPropagatesError(t *testing.T) {
-	err := forEach(100, func(i int) error {
-		if i == 37 {
-			return errTest
-		}
-		return nil
-	})
-	if err != errTest {
-		t.Fatalf("err = %v", err)
-	}
-	if err := forEach(0, func(int) error { return nil }); err != nil {
-		t.Fatal(err)
-	}
-}
-
-var errTest = &testError{}
-
-type testError struct{}
-
-func (*testError) Error() string { return "test error" }
 
 func indexOf(xs []int, v int) int {
 	for i, x := range xs {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -9,6 +10,7 @@ import (
 	"ncdrf/internal/machine"
 	"ncdrf/internal/perf"
 	"ncdrf/internal/report"
+	"ncdrf/internal/sweep"
 )
 
 // cdfModels are the models plotted in Figures 6 and 7 (Ideal has no
@@ -34,19 +36,19 @@ type CDFResult struct {
 // Fig6 computes the static cumulative distribution of loops over their
 // register requirements for one latency (3 or 6), on the section 5.2
 // two-cluster evaluation machine.
-func Fig6(corpus []*ddg.Graph, latency int) (*CDFResult, error) {
-	return figCDF(corpus, latency, false)
+func Fig6(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, latency int) (*CDFResult, error) {
+	return figCDF(ctx, eng, corpus, latency, false)
 }
 
 // Fig7 is Fig6 weighted by executed cycles (II * trips): the dynamic
 // cumulative distribution.
-func Fig7(corpus []*ddg.Graph, latency int) (*CDFResult, error) {
-	return figCDF(corpus, latency, true)
+func Fig7(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, latency int) (*CDFResult, error) {
+	return figCDF(ctx, eng, corpus, latency, true)
 }
 
-func figCDF(corpus []*ddg.Graph, latency int, dynamic bool) (*CDFResult, error) {
+func figCDF(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, latency int, dynamic bool) (*CDFResult, error) {
 	m := machine.Eval(latency)
-	reqs, err := RegisterSweep(corpus, m)
+	reqs, err := RegisterSweep(ctx, eng, corpus, m)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +148,7 @@ type PerfResult struct {
 // Fig8and9 runs the full limited-register pipeline over the corpus for
 // every configuration and model, producing both figures at once (they
 // share all the work).
-func Fig8and9(corpus []*ddg.Graph, configs []PerfConfig) (*PerfResult, error) {
+func Fig8and9(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, configs []PerfConfig) (*PerfResult, error) {
 	if len(configs) == 0 {
 		configs = PerfConfigs
 	}
@@ -156,7 +158,7 @@ func Fig8and9(corpus []*ddg.Graph, configs []PerfConfig) (*PerfResult, error) {
 		var perfRow [core.NumModels]float64
 		var densRow [core.NumModels]float64
 		var spillRow [core.NumModels]int
-		ideal, err := ModelRuns(corpus, m, core.Ideal, cfg.Regs)
+		ideal, err := ModelRuns(ctx, eng, corpus, m, core.Ideal, cfg.Regs)
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +166,7 @@ func Fig8and9(corpus []*ddg.Graph, configs []PerfConfig) (*PerfResult, error) {
 		for _, model := range core.Models {
 			runs := ideal
 			if model != core.Ideal {
-				runs, err = ModelRuns(corpus, m, model, cfg.Regs)
+				runs, err = ModelRuns(ctx, eng, corpus, m, model, cfg.Regs)
 				if err != nil {
 					return nil, err
 				}

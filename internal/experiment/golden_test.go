@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ncdrf/internal/loops"
+	"ncdrf/internal/machine"
+)
+
+// TestFigCSVGolden pins the Figure 6/7 CSV output on the curated kernel
+// corpus to golden files captured from the pre-sweep-engine pipeline, so
+// the cached engine provably preserves the paper's numbers byte for byte.
+func TestFigCSVGolden(t *testing.T) {
+	corpus := loops.Kernels()
+	eng := testEng()
+	for _, lat := range []int{3, 6} {
+		for _, dyn := range []bool{false, true} {
+			fig := 6
+			if dyn {
+				fig = 7
+			}
+			name := fmt.Sprintf("fig%d_kernels_lat%d.csv", fig, lat)
+			t.Run(name, func(t *testing.T) {
+				var res *CDFResult
+				var err error
+				if dyn {
+					res, err = Fig7(ctx0, eng, corpus, lat)
+				} else {
+					res, err = Fig6(ctx0, eng, corpus, lat)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got bytes.Buffer
+				if err := res.RenderCSV(&got); err != nil {
+					t.Fatal(err)
+				}
+				want, err := os.ReadFile(filepath.Join("testdata", name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got.Bytes(), want) {
+					t.Fatalf("output drifted from golden %s\ngot:\n%s\nwant:\n%s", name, got.Bytes(), want)
+				}
+			})
+		}
+	}
+}
+
+// TestPaperPipelineCacheSharing runs the paper's whole pipeline shape
+// (Table 1, Figures 6-9, verification) on one shared engine and asserts
+// the acceptance property of the sweep engine: the schedule cache
+// absorbs at least half of all scheduling requests, i.e. the pipeline
+// computes >= 2x fewer schedules than it would uncached.
+func TestPaperPipelineCacheSharing(t *testing.T) {
+	corpus := loops.Kernels()
+	eng := testEng()
+	if _, err := Table1(ctx0, eng, corpus); err != nil {
+		t.Fatal(err)
+	}
+	for _, lat := range []int{3, 6} {
+		if _, err := Fig6(ctx0, eng, corpus, lat); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Fig7(ctx0, eng, corpus, lat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Fig8and9(ctx0, eng, corpus, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifySample(ctx0, eng, corpus, machine.Eval(6), 0, 8, 5); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Cache().Stats()
+	if st.Requests() == 0 {
+		t.Fatal("pipeline made no scheduling requests")
+	}
+	if st.Requests() < 2*st.Misses {
+		t.Fatalf("cache sharing below 2x: %d requests, %d computed", st.Requests(), st.Misses)
+	}
+	t.Logf("schedule cache: %s", st)
+}

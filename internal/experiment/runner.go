@@ -1,13 +1,15 @@
 // Package experiment wires the substrates into the paper's evaluation
 // pipeline (schedule -> classify -> swap -> allocate -> spill) and
 // implements one runner per table/figure of the paper: Table 1 and
-// Figures 6, 7, 8 and 9.
+// Figures 6, 7, 8 and 9. Every runner executes on a shared sweep.Engine:
+// a cancellable worker pool over a content-addressed schedule cache, so
+// the figures share their (identical) scheduling work instead of
+// recomputing it.
 package experiment
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"ncdrf/internal/core"
 	"ncdrf/internal/ddg"
@@ -17,7 +19,7 @@ import (
 	"ncdrf/internal/machine"
 	"ncdrf/internal/perf"
 	"ncdrf/internal/sched"
-	"ncdrf/internal/spill"
+	"ncdrf/internal/sweep"
 	"ncdrf/internal/vm"
 )
 
@@ -44,12 +46,24 @@ type Requirements struct {
 
 // RegisterSweep schedules every loop once (registers unlimited) and
 // computes the register requirement under each model. This produces the
-// data behind Figures 6 and 7.
-func RegisterSweep(corpus []*ddg.Graph, m *machine.Config) ([]Requirements, error) {
+// data behind Figures 6 and 7, which differ only in how they weight the
+// same sweep — so the whole result set is memoized on the engine and the
+// second figure (or a Table 1 config reusing the machine) pays nothing.
+func RegisterSweep(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, m *machine.Config) ([]Requirements, error) {
+	v, err := eng.Memo(eng.CorpusKey("register-sweep", corpus, m), func() (any, error) {
+		return registerSweep(ctx, eng, corpus, m)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]Requirements), nil
+}
+
+func registerSweep(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, m *machine.Config) ([]Requirements, error) {
 	out := make([]Requirements, len(corpus))
-	err := forEach(len(corpus), func(i int) error {
+	err := eng.ForEach(ctx, len(corpus), func(i int) error {
 		g := corpus[i]
-		s, err := sched.Run(g, m, sched.Options{})
+		s, err := eng.Schedule(g, m, sched.Options{})
 		if err != nil {
 			return fmt.Errorf("%s: %w", g.LoopName, err)
 		}
@@ -73,12 +87,8 @@ func RegisterSweep(corpus []*ddg.Graph, m *machine.Config) ([]Requirements, erro
 
 // CompileLoop runs the full limited-register pipeline for one loop under
 // one model: spill until the allocation fits, then report the run.
-func CompileLoop(g *ddg.Graph, m *machine.Config, model core.Model, regs int) (perf.LoopRun, error) {
-	limit := regs
-	if model == core.Ideal {
-		limit = 0
-	}
-	res, err := spill.Run(g, m, limit, core.Fit(model), sched.Options{})
+func CompileLoop(eng *sweep.Engine, g *ddg.Graph, m *machine.Config, model core.Model, regs int) (perf.LoopRun, error) {
+	res, err := eng.Compile(g, m, model, regs)
 	if err != nil {
 		return perf.LoopRun{}, fmt.Errorf("%s/%v: %w", g.LoopName, model, err)
 	}
@@ -92,11 +102,26 @@ func CompileLoop(g *ddg.Graph, m *machine.Config, model core.Model, regs int) (p
 }
 
 // ModelRuns compiles the whole corpus under one model with the given
-// register-file size.
-func ModelRuns(corpus []*ddg.Graph, m *machine.Config, model core.Model, regs int) ([]perf.LoopRun, error) {
+// register-file size. Results are memoized on the engine; the Ideal
+// model ignores the register size, so every size shares one run.
+func ModelRuns(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, m *machine.Config, model core.Model, regs int) ([]perf.LoopRun, error) {
+	if model == core.Ideal {
+		regs = 0
+	}
+	key := eng.CorpusKey(fmt.Sprintf("model-runs/%v/%d", model, regs), corpus, m)
+	v, err := eng.Memo(key, func() (any, error) {
+		return modelRuns(ctx, eng, corpus, m, model, regs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]perf.LoopRun), nil
+}
+
+func modelRuns(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, m *machine.Config, model core.Model, regs int) ([]perf.LoopRun, error) {
 	out := make([]perf.LoopRun, len(corpus))
-	err := forEach(len(corpus), func(i int) error {
-		run, err := CompileLoop(corpus[i], m, model, regs)
+	err := eng.ForEach(ctx, len(corpus), func(i int) error {
+		run, err := CompileLoop(eng, corpus[i], m, model, regs)
 		if err != nil {
 			return err
 		}
@@ -114,7 +139,7 @@ func ModelRuns(corpus []*ddg.Graph, m *machine.Config, model core.Model, regs in
 // the simulated rotating register files, checking the store stream
 // bit-for-bit against the sequential reference. It returns the number of
 // loop/model combinations verified.
-func VerifySample(corpus []*ddg.Graph, m *machine.Config, regs, iters, stride int) (int, error) {
+func VerifySample(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, m *machine.Config, regs, iters, stride int) (int, error) {
 	if stride < 1 {
 		stride = 1
 	}
@@ -124,9 +149,9 @@ func VerifySample(corpus []*ddg.Graph, m *machine.Config, regs, iters, stride in
 	}
 	models := []core.Model{core.Unified, core.Partitioned, core.Swapped}
 	count := len(sample) * len(models)
-	err := forEach(len(sample), func(i int) error {
+	err := eng.ForEach(ctx, len(sample), func(i int) error {
 		for _, model := range models {
-			if err := vm.VerifyModel(sample[i], m, model, regs, iters); err != nil {
+			if err := vm.VerifyModelWith(eng, sample[i], m, model, regs, iters); err != nil {
 				return err
 			}
 		}
@@ -136,57 +161,4 @@ func VerifySample(corpus []*ddg.Graph, m *machine.Config, regs, iters, stride in
 		return 0, err
 	}
 	return count, nil
-}
-
-// forEach runs fn(i) for i in [0,n) on a bounded worker pool and returns
-// the first error.
-func forEach(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		err  error
-		next int
-	)
-	take := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		if err != nil || next >= n {
-			return -1
-		}
-		i := next
-		next++
-		return i
-	}
-	fail := func(e error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if err == nil {
-			err = e
-		}
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := take()
-				if i < 0 {
-					return
-				}
-				if e := fn(i); e != nil {
-					fail(e)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return err
 }

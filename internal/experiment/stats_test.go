@@ -61,7 +61,7 @@ func TestStatsEmptyValues(t *testing.T) {
 
 func TestClusterScaling(t *testing.T) {
 	corpus := smallCorpus()[:20]
-	res, err := ClusterScaling(corpus, 6, []int{1, 2})
+	res, err := ClusterScaling(ctx0, testEng(), corpus, 6, []int{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestEvalN(t *testing.T) {
 }
 
 func TestFigP90Summary(t *testing.T) {
-	res, err := Fig6(smallCorpus(), 6)
+	res, err := Fig6(ctx0, testEng(), smallCorpus(), 6)
 	if err != nil {
 		t.Fatal(err)
 	}

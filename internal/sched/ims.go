@@ -52,7 +52,10 @@ func Run(g *ddg.Graph, m *machine.Config, opts Options) (*Schedule, error) {
 	}
 	maxII := mii + opts.maxIISlack() + g.NumNodes()
 	for ii := mii; ii <= maxII; ii++ {
-		s, ok := tryII(g, m, ii, opts.budgetRatio())
+		s, ok, err := tryII(g, m, ii, opts.budgetRatio())
+		if err != nil {
+			return nil, err
+		}
 		if !ok {
 			continue
 		}
@@ -65,7 +68,10 @@ func Run(g *ddg.Graph, m *machine.Config, opts Options) (*Schedule, error) {
 }
 
 // tryII attempts to find a schedule at a fixed II with a bounded budget.
-func tryII(g *ddg.Graph, m *machine.Config, ii, budgetRatio int) (*Schedule, bool) {
+// A nil error with ok == false means the budget ran out (try a larger
+// II); a non-nil error means the machine configuration itself cannot
+// host the loop and no II will help.
+func tryII(g *ddg.Graph, m *machine.Config, ii, budgetRatio int) (*Schedule, bool, error) {
 	n := g.NumNodes()
 	h := heights(g, m, ii)
 
@@ -110,15 +116,21 @@ func tryII(g *ddg.Graph, m *machine.Config, ii, budgetRatio int) (*Schedule, boo
 			// Cannot happen with fully pipelined units occupying one
 			// reservation cell each: at II >= ResMII the kind has at
 			// most II*units operations, so some cell is free, and the
-			// II-cycle search window visits every kernel row.
-			panic("sched: internal: no free cell within the II window despite II >= ResMII")
+			// II-cycle search window visits every kernel row. A
+			// malformed machine config is the only way here, so fail
+			// with enough context to diagnose it instead of taking the
+			// whole sweep down.
+			node := g.Node(u)
+			return nil, false, fmt.Errorf(
+				"sched: loop %s at II=%d: no free %s reservation cell for op %s on %s (inconsistent machine config)",
+				g.LoopName, ii, node.Op.FUKind(), node.Label(), m.Name())
 		}
 		unplaced += st.place(u, slot, fu)
 	}
 	if unplaced > 0 {
-		return nil, false
+		return nil, false, nil
 	}
-	return &Schedule{Graph: g, Mach: m, II: ii, Start: st.start, FU: st.fu}, true
+	return &Schedule{Graph: g, Mach: m, II: ii, Start: st.start, FU: st.fu}, true, nil
 }
 
 type imsState struct {

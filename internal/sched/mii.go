@@ -64,11 +64,11 @@ func hasPositiveCycle(g *ddg.Graph, m *machine.Config, ii int) bool {
 	n := g.NumNodes()
 	dist := make([]int, n) // longest path from a virtual source to each node
 	edges := g.Edges()
+	w := edgeWeights(g, m, edges, ii)
 	for round := 0; round < n; round++ {
 		changed := false
-		for _, e := range edges {
-			w := EdgeDelay(g, m, e) - ii*e.Distance
-			if d := dist[e.From] + w; d > dist[e.To] {
+		for i, e := range edges {
+			if d := dist[e.From] + w[i]; d > dist[e.To] {
 				dist[e.To] = d
 				changed = true
 			}
@@ -78,13 +78,23 @@ func hasPositiveCycle(g *ddg.Graph, m *machine.Config, ii int) bool {
 		}
 	}
 	// One more relaxation round: any further improvement proves a cycle.
-	for _, e := range edges {
-		w := EdgeDelay(g, m, e) - ii*e.Distance
-		if dist[e.From]+w > dist[e.To] {
+	for i, e := range edges {
+		if dist[e.From]+w[i] > dist[e.To] {
 			return true
 		}
 	}
 	return false
+}
+
+// edgeWeights precomputes the constraint-graph weight of every edge at
+// the given II, delay(e) - II*distance(e), hoisting the delay lookup out
+// of the O(N·E) relaxation loops in hasPositiveCycle and heights.
+func edgeWeights(g *ddg.Graph, m *machine.Config, edges []ddg.Edge, ii int) []int {
+	w := make([]int, len(edges))
+	for i, e := range edges {
+		w[i] = EdgeDelay(g, m, e) - ii*e.Distance
+	}
+	return w
 }
 
 // MII returns max(ResMII, RecMII) along with both components.
@@ -109,11 +119,11 @@ func heights(g *ddg.Graph, m *machine.Config, ii int) []int {
 	n := g.NumNodes()
 	h := make([]int, n)
 	edges := g.Edges()
+	w := edgeWeights(g, m, edges, ii)
 	for round := 0; round < n+1; round++ {
 		changed := false
-		for _, e := range edges {
-			w := EdgeDelay(g, m, e) - ii*e.Distance
-			if v := h[e.To] + w; v > h[e.From] {
+		for i, e := range edges {
+			if v := h[e.To] + w[i]; v > h[e.From] {
 				h[e.From] = v
 				changed = true
 			}

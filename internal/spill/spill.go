@@ -48,17 +48,40 @@ func (r *Result) MemOps() int { return r.Graph.MemOps() }
 // corpus needs and converts algorithmic surprises into errors.
 const maxIterations = 400
 
+// Scheduler abstracts sched.Run so the spill loop can be driven through
+// a shared schedule cache (internal/sweep). Implementations must return
+// a schedule that stays valid when the caller mutates g afterwards, as
+// the spill loop rewrites its working graph between rounds.
+type Scheduler interface {
+	Schedule(g *ddg.Graph, m *machine.Config, opts sched.Options) (*sched.Schedule, error)
+}
+
 // Run executes the spill loop on a copy of g. regs <= 0 means an
 // unlimited register file: the first schedule is returned untouched.
 func Run(g *ddg.Graph, m *machine.Config, regs int, fit FitFunc, opts sched.Options) (*Result, error) {
+	return RunWith(nil, g, m, regs, fit, opts)
+}
+
+// RunWith is Run with every scheduling request routed through sr; a nil
+// sr schedules directly with sched.Run.
+func RunWith(sr Scheduler, g *ddg.Graph, m *machine.Config, regs int, fit FitFunc, opts sched.Options) (*Result, error) {
+	schedule := sched.Run
+	if sr != nil {
+		schedule = sr.Schedule
+	}
 	work := g.Clone()
+	// work dies with this call; let a digest-memoizing scheduler drop
+	// its per-graph bookkeeping instead of pinning the graph forever.
+	if f, ok := sr.(interface{ Forget(*ddg.Graph) }); ok {
+		defer f.Forget(work)
+	}
 	res := &Result{}
 	unspillable := make(map[int]bool) // node IDs whose values may not be spilled again
 	slot := 0
 
 	for iter := 0; iter < maxIterations; iter++ {
 		res.Iterations = iter + 1
-		s, err := sched.Run(work, m, opts)
+		s, err := schedule(work, m, opts)
 		if err != nil {
 			return nil, fmt.Errorf("spill: %w", err)
 		}

@@ -1,0 +1,183 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/machine"
+	"ncdrf/internal/sched"
+)
+
+// cacheKey identifies one scheduling problem; see the package comment for
+// the key scheme.
+type cacheKey struct {
+	graph   [sha256.Size]byte
+	machine string
+	opts    sched.Options
+}
+
+// cacheEntry is a single-flight slot: the first requester computes the
+// schedule, later requesters block on ready and share the result.
+type cacheEntry struct {
+	ready chan struct{}
+	sched *sched.Schedule
+	err   error
+}
+
+// CacheStats is a snapshot of the cache counters.
+type CacheStats struct {
+	// Hits is the number of Schedule calls served from the cache
+	// (including calls that waited on an in-flight computation).
+	Hits uint64
+	// Misses is the number of schedules actually computed.
+	Misses uint64
+}
+
+// Requests returns the total number of Schedule calls observed.
+func (s CacheStats) Requests() uint64 { return s.Hits + s.Misses }
+
+// String renders the stats in the form the CLI prints.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("%d schedule requests, %d computed, %d served from cache",
+		s.Requests(), s.Misses, s.Hits)
+}
+
+// Cache is a content-addressed, single-flight schedule cache. It is safe
+// for concurrent use. Negative results (scheduling errors) are cached
+// too: scheduling is deterministic, so retrying an unschedulable problem
+// cannot succeed.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	// digests memoizes the canonical digest per graph pointer, keyed on
+	// the graph's (node count, edge count) for invalidation: every graph
+	// mutator in this repository only ever adds nodes and edges (the
+	// spiller rewrites its working graph with strictly more of both), so
+	// unchanged counts mean unchanged content. A future pass that edits a
+	// graph in place without growing it must bypass or clear this memo.
+	digests sync.Map // *ddg.Graph -> digestMemo
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+type digestMemo struct {
+	nodes, edges int
+	sum          [sha256.Size]byte
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[cacheKey]*cacheEntry{}}
+}
+
+// encBufs recycles the encoding buffers keyOf hashes; the cache sits on
+// every scheduling request, so the key path must not allocate per call.
+var encBufs = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// appendEncoding appends g's canonical text encoding — byte-identical to
+// ddg.(*Graph).Encode, see TestAppendEncodingMatchesDDGEncode — without
+// the fmt machinery that dominates Encode's cost.
+func appendEncoding(buf []byte, g *ddg.Graph) []byte {
+	buf = append(buf, "loop "...)
+	buf = append(buf, g.LoopName...)
+	buf = append(buf, " trips "...)
+	buf = strconv.AppendInt(buf, g.TripsOrOne(), 10)
+	buf = append(buf, '\n')
+	for _, n := range g.Nodes() {
+		buf = append(buf, "node "...)
+		buf = append(buf, n.Label()...)
+		buf = append(buf, ' ')
+		buf = append(buf, n.Op.String()...)
+		if n.Sym != "" {
+			buf = append(buf, " sym "...)
+			buf = append(buf, n.Sym...)
+		}
+		buf = append(buf, '\n')
+	}
+	for i, ne := 0, g.NumEdges(); i < ne; i++ {
+		e := g.Edge(i)
+		buf = append(buf, "edge "...)
+		buf = append(buf, g.Node(e.From).Label()...)
+		buf = append(buf, ' ')
+		buf = append(buf, g.Node(e.To).Label()...)
+		buf = append(buf, ' ')
+		buf = append(buf, e.Kind.String()...)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(e.Distance), 10)
+		buf = append(buf, '\n')
+	}
+	return buf
+}
+
+// digestOf returns the canonical digest of g, memoized per pointer.
+func (c *Cache) digestOf(g *ddg.Graph) [sha256.Size]byte {
+	nodes, edges := g.NumNodes(), g.NumEdges()
+	if v, ok := c.digests.Load(g); ok {
+		if m := v.(digestMemo); m.nodes == nodes && m.edges == edges {
+			if digestGuard && sha256.Sum256(appendEncoding(nil, g)) != m.sum {
+				panic("sweep: graph " + g.LoopName + " mutated in place without growing; stale digest memo (see Cache.digests invariant)")
+			}
+			return m.sum
+		}
+	}
+	bp := encBufs.Get().(*[]byte)
+	buf := appendEncoding((*bp)[:0], g)
+	sum := sha256.Sum256(buf)
+	*bp = buf
+	encBufs.Put(bp)
+	c.digests.Store(g, digestMemo{nodes: nodes, edges: edges, sum: sum})
+	return sum
+}
+
+// keyOf builds the cache key for one scheduling problem.
+func (c *Cache) keyOf(g *ddg.Graph, m *machine.Config, opts sched.Options) cacheKey {
+	return cacheKey{graph: c.digestOf(g), machine: m.Name(), opts: opts}
+}
+
+// Schedule returns the (possibly shared) schedule of g on m, computing it
+// at most once per distinct (graph content, machine, options) triple.
+// The schedule is computed on a private clone of g, so callers may mutate
+// g afterwards; the returned schedule must be treated as read-only.
+func (c *Cache) Schedule(g *ddg.Graph, m *machine.Config, opts sched.Options) (*sched.Schedule, error) {
+	key := c.keyOf(g, m, opts)
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.ready
+		return e.sched, e.err
+	}
+	e = &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	clone := g.Clone()
+	e.sched, e.err = sched.Run(clone, m, opts)
+	close(e.ready)
+	return e.sched, e.err
+}
+
+// Forget drops the digest memo for g. The spill loop calls this (via an
+// optional interface check in spill.RunWith) when a private working
+// graph dies, so the memo doesn't pin dead graphs for the engine's
+// lifetime. The schedule entries themselves are kept — they ARE the
+// cache, and later identical content still hits them.
+func (c *Cache) Forget(g *ddg.Graph) { c.digests.Delete(g) }
+
+// Stats returns a snapshot of the hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// Len returns the number of distinct scheduling problems seen.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,171 @@
+package sweep
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"ncdrf/internal/core"
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/loops"
+	"ncdrf/internal/machine"
+	"ncdrf/internal/sched"
+)
+
+// TestAppendEncodingMatchesDDGEncode pins the fast cache-key encoder to
+// the canonical ddg text encoding, byte for byte, including spill-shaped
+// graphs (symbols, anonymous nodes, loop-carried memory edges).
+func TestAppendEncodingMatchesDDGEncode(t *testing.T) {
+	graphs := loops.Kernels()
+	graphs = append(graphs, loops.PaperExample())
+	g := ddg.New("synthetic", 7)
+	a := g.AddNode(ddg.LOAD, "")
+	b := g.AddNode(ddg.FADD, "acc")
+	st := g.AddNode(ddg.STORE, "")
+	g.Node(st).Sym = "spill0"
+	g.Flow(a, b)
+	g.FlowD(b, b, 1)
+	g.Flow(b, st)
+	g.MustAddEdge(ddg.Edge{From: st, To: a, Kind: ddg.Mem, Distance: 2})
+	graphs = append(graphs, g)
+
+	for _, g := range graphs {
+		var want bytes.Buffer
+		if err := g.Encode(&want); err != nil {
+			t.Fatal(err)
+		}
+		got := appendEncoding(nil, g)
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("%s: encodings differ\nfast:\n%s\ncanonical:\n%s", g.LoopName, got, want.Bytes())
+		}
+	}
+}
+
+// TestCacheSharesWork drives the cache concurrently (run under -race in
+// CI) and checks that identical requests are computed exactly once while
+// distinct graphs, machines and options stay separate.
+func TestCacheSharesWork(t *testing.T) {
+	c := NewCache()
+	corpus := loops.Kernels()
+	machines := []*machine.Config{machine.Eval(3), machine.Eval(6)}
+	const rounds = 8
+
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for _, m := range machines {
+			for _, g := range corpus {
+				wg.Add(1)
+				go func(g *ddg.Graph, m *machine.Config) {
+					defer wg.Done()
+					s, err := c.Schedule(g, m, sched.Options{})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if s.II < 1 || len(s.Start) != g.NumNodes() {
+						t.Errorf("%s: bad shared schedule", g.LoopName)
+					}
+				}(g, m)
+			}
+		}
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	distinct := uint64(len(corpus) * len(machines))
+	if st.Misses != distinct {
+		t.Fatalf("misses = %d, want %d (one per distinct problem)", st.Misses, distinct)
+	}
+	if st.Hits != distinct*(rounds-1) {
+		t.Fatalf("hits = %d, want %d", st.Hits, distinct*(rounds-1))
+	}
+	if c.Len() != int(distinct) {
+		t.Fatalf("cache holds %d entries, want %d", c.Len(), distinct)
+	}
+
+	// Different options are a different problem.
+	if _, err := c.Schedule(corpus[0], machines[0], sched.Options{MinII: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Misses; got != distinct+1 {
+		t.Fatalf("MinII variant not keyed separately: misses = %d", got)
+	}
+}
+
+// TestCacheSurvivesCallerMutation checks the content-addressing contract
+// the spiller relies on: mutating the request graph after a hit must not
+// corrupt the cached schedule, and the mutated graph is a fresh key.
+func TestCacheSurvivesCallerMutation(t *testing.T) {
+	c := NewCache()
+	m := machine.Eval(3)
+	g := loops.PaperExample().Clone()
+
+	s1, err := c.Schedule(g, m, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := s1.Graph.NumNodes()
+
+	// Grow the caller's graph the way insertSpill does.
+	ld := g.AddNode(ddg.LOAD, "extra")
+	g.Flow(ld, 0)
+
+	if s1.Graph.NumNodes() != n1 {
+		t.Fatal("cached schedule's graph aliased the caller's graph")
+	}
+	s2, err := c.Schedule(g, m, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Misses != 2 {
+		t.Fatalf("mutated graph reused a stale entry: %+v", c.Stats())
+	}
+	if s2.Graph.NumNodes() != n1+1 {
+		t.Fatal("second schedule lost the mutation")
+	}
+	if err := s1.Verify(); err != nil {
+		t.Fatalf("cached schedule corrupted by caller mutation: %v", err)
+	}
+}
+
+// TestCompileForgetsWorkingGraphs checks that the spill loop's private
+// working graphs do not pile up in the digest memo: after a spilling
+// compile, only the caller's graph remains memoized.
+func TestCompileForgetsWorkingGraphs(t *testing.T) {
+	eng := New(1)
+	g, ok := loops.KernelByName("lfk7-eos")
+	if !ok {
+		t.Fatal("missing kernel")
+	}
+	res, err := eng.Compile(g, machine.Eval(6), core.Unified, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpilledValues == 0 {
+		t.Fatal("test needs a spilling compile to exercise working-graph cleanup")
+	}
+	memoized := 0
+	eng.cache.digests.Range(func(any, any) bool { memoized++; return true })
+	// The spill loop only ever digested its private clone, and that
+	// entry must be gone now.
+	if memoized != 0 {
+		t.Fatalf("digest memo retains %d graphs, want 0", memoized)
+	}
+}
+
+// TestCacheCachesErrors checks that deterministic scheduling failures
+// are cached instead of recomputed.
+func TestCacheCachesErrors(t *testing.T) {
+	c := NewCache()
+	// A machine with no memory ports cannot host any kernel with loads.
+	m := machine.MustNew("no-mem", []machine.ClusterSpec{{Adders: 1, Multipliers: 1}}, 3, 3, 1)
+	g := loops.Kernels()[0]
+	_, err1 := c.Schedule(g, m, sched.Options{})
+	if err1 == nil {
+		t.Fatal("expected scheduling failure")
+	}
+	_, err2 := c.Schedule(g, m, sched.Options{})
+	if err2 == nil || c.Stats().Misses != 1 || c.Stats().Hits != 1 {
+		t.Fatalf("error result not served from cache: %+v", c.Stats())
+	}
+}

@@ -1,0 +1,122 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+
+	"ncdrf/internal/core"
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/machine"
+)
+
+// Grid describes a sweep: the cross product of loops, machines, models
+// and register-file sizes.
+type Grid struct {
+	Corpus   []*ddg.Graph
+	Machines []*machine.Config
+	Models   []core.Model
+	Regs     []int
+}
+
+// Unit is one deduplicated work item of a planned grid: indices into the
+// grid's corpus/machines plus the concrete model and register count.
+type Unit struct {
+	Loop    int
+	Machine int
+	Model   core.Model
+	Regs    int
+}
+
+// unitKey identifies a requested grid cell, for deduplication: machines
+// collapse onto their name (same name = same config, the cache
+// contract), so repeated register sizes or same-name machines add
+// nothing. Distinct cells whose computations coincide (e.g. the Ideal
+// model at every register size) are kept — each requested cell gets its
+// own Result row — and the schedule cache absorbs the shared work.
+type unitKey struct {
+	loop    int
+	machine string
+	model   core.Model
+	regs    int
+}
+
+// Plan expands the grid into work units, dropping duplicate cells:
+// repeated register sizes and machines with the same name. Units are
+// ordered machine-major, then model, then size, then loop — the order
+// the paper's tables enumerate.
+func (g Grid) Plan() []Unit {
+	regs := g.Regs
+	if len(regs) == 0 {
+		regs = []int{0}
+	}
+	seen := map[unitKey]bool{}
+	var units []Unit
+	for mi, m := range g.Machines {
+		for _, model := range g.Models {
+			for _, r := range regs {
+				for li := range g.Corpus {
+					k := unitKey{loop: li, machine: m.Name(), model: model, regs: r}
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					units = append(units, Unit{Loop: li, Machine: mi, Model: model, Regs: r})
+				}
+			}
+		}
+	}
+	return units
+}
+
+// Result is the outcome of one work unit, shaped for JSON streaming.
+// A unit that fails carries its error in Error with the zero metrics.
+type Result struct {
+	Loop    string `json:"loop"`
+	Machine string `json:"machine"`
+	Model   string `json:"model"`
+	Regs    int    `json:"regs"`
+	II      int    `json:"ii,omitempty"`
+	Stages  int    `json:"stages,omitempty"`
+	Trips   int64  `json:"trips,omitempty"`
+	MemOps  int    `json:"mem_ops,omitempty"`
+	Spilled int    `json:"spilled,omitempty"`
+	IIBumps int    `json:"ii_bumps,omitempty"`
+	Rounds  int    `json:"rounds,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Sweep plans the grid and compiles every unit on the worker pool,
+// calling emit once per unit as results become available (emit calls are
+// serialized; their order follows completion, not plan order). Per-unit
+// compile failures are reported inside the Result, not as an error;
+// Sweep's own error is non-nil only when ctx is cancelled.
+func (e *Engine) Sweep(ctx context.Context, grid Grid, emit func(Result)) error {
+	units := grid.Plan()
+	var mu sync.Mutex
+	return e.ForEach(ctx, len(units), func(i int) error {
+		u := units[i]
+		g, m := grid.Corpus[u.Loop], grid.Machines[u.Machine]
+		r := Result{
+			Loop:    g.LoopName,
+			Machine: m.Name(),
+			Model:   u.Model.String(),
+			Regs:    u.Regs,
+			Trips:   g.TripsOrOne(),
+		}
+		res, err := e.Compile(g, m, u.Model, u.Regs)
+		if err != nil {
+			r.Error = err.Error()
+		} else {
+			r.II = res.Sched.II
+			r.Stages = res.Sched.Stages()
+			r.MemOps = res.MemOps()
+			r.Spilled = res.SpilledValues
+			r.IIBumps = res.IIBumps
+			r.Rounds = res.Iterations
+		}
+		mu.Lock()
+		emit(r)
+		mu.Unlock()
+		return nil
+	})
+}

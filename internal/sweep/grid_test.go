@@ -1,0 +1,152 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+
+	"ncdrf/internal/core"
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/loops"
+	"ncdrf/internal/machine"
+)
+
+func testGrid() Grid {
+	return Grid{
+		Corpus:   loops.Kernels()[:4],
+		Machines: []*machine.Config{machine.Eval(3), machine.Eval(6)},
+		Models:   []core.Model{core.Ideal, core.Unified, core.Swapped},
+		Regs:     []int{32, 64},
+	}
+}
+
+func TestPlanDeduplicates(t *testing.T) {
+	g := testGrid()
+	units := g.Plan()
+	// Every requested cell is kept: 4 loops x 2 machines x 3 models x
+	// 2 sizes (the Ideal duplicates share their computation through the
+	// cache but still get their own result rows).
+	if len(units) != 48 {
+		t.Fatalf("planned %d units, want 48", len(units))
+	}
+
+	// Duplicate sizes and a same-name machine add nothing.
+	g.Regs = []int{32, 64, 32}
+	g.Machines = append(g.Machines, machine.Eval(6))
+	if n := len(g.Plan()); n != 48 {
+		t.Fatalf("duplicates not dropped: %d units", n)
+	}
+
+	// Empty Regs means one unlimited-file unit per loop/machine/model.
+	g2 := testGrid()
+	g2.Regs = nil
+	if n := len(g2.Plan()); n != 4*2*3 {
+		t.Fatalf("empty regs planned %d units", n)
+	}
+}
+
+func TestSweepEmitsEveryUnit(t *testing.T) {
+	eng := New(4)
+	grid := testGrid()
+	var results []Result
+	if err := eng.Sweep(context.Background(), grid, func(r Result) {
+		results = append(results, r)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(grid.Plan()) {
+		t.Fatalf("emitted %d results, want %d", len(results), len(grid.Plan()))
+	}
+	for _, r := range results {
+		if r.Error != "" {
+			t.Fatalf("%s/%s/%s: %s", r.Loop, r.Machine, r.Model, r.Error)
+		}
+		if r.II < 1 || r.Trips < 1 {
+			t.Fatalf("degenerate result: %+v", r)
+		}
+	}
+	// The grid shares iteration-0 schedules across models and sizes, so
+	// the cache must have absorbed a large share of the requests.
+	st := eng.Cache().Stats()
+	if st.Hits == 0 || st.Requests() < 2*st.Misses {
+		t.Fatalf("grid sharing below 2x: %+v", st)
+	}
+}
+
+// TestSweepReportsPerUnitErrors checks that a unit that cannot compile
+// carries its error in the result instead of aborting the sweep.
+func TestSweepReportsPerUnitErrors(t *testing.T) {
+	bad := ddg.New("impossible", 1)
+	// A loop whose only op kind is missing from the machine cannot be
+	// scheduled; machine.Eval always has memory ports, so build a
+	// machine without multipliers instead.
+	mul := bad.AddNode(ddg.FMUL, "m")
+	bad.FlowD(mul, mul, 1)
+	m := machine.MustNew("add-only", []machine.ClusterSpec{{Adders: 1, MemPorts: 1}}, 3, 3, 1)
+	eng := New(2)
+	grid := Grid{
+		Corpus:   []*ddg.Graph{loops.Kernels()[0], bad},
+		Machines: []*machine.Config{m},
+		Models:   []core.Model{core.Ideal},
+	}
+	var got []Result
+	if err := eng.Sweep(context.Background(), grid, func(r Result) { got = append(got, r) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("emitted %d results", len(got))
+	}
+	badFailed := false
+	for _, r := range got {
+		if r.Loop == "impossible" && r.Error != "" {
+			badFailed = true
+		}
+	}
+	if !badFailed {
+		t.Fatalf("impossible loop did not report an error: %+v", got)
+	}
+}
+
+func TestEngineMemo(t *testing.T) {
+	eng := New(2)
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, err := eng.Memo("k", func() (any, error) { calls++; return 42, nil })
+		if err != nil || v.(int) != 42 {
+			t.Fatalf("memo = %v, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("computed %d times", calls)
+	}
+	// Failures are not retained.
+	fail := true
+	for i := 0; i < 2; i++ {
+		v, err := eng.Memo("f", func() (any, error) {
+			if fail {
+				fail = false
+				return nil, context.Canceled
+			}
+			return "ok", nil
+		})
+		if i == 0 && err == nil {
+			t.Fatal("first call should fail")
+		}
+		if i == 1 && (err != nil || v.(string) != "ok") {
+			t.Fatalf("retry after failure = %v, %v", v, err)
+		}
+	}
+
+	// CorpusKey distinguishes machines and corpora but not slice identity.
+	ks := loops.Kernels()
+	a := eng.CorpusKey("p", ks[:2], machine.Eval(3))
+	b := eng.CorpusKey("p", append([]*ddg.Graph(nil), ks[:2]...), machine.Eval(3))
+	if a != b {
+		t.Fatal("same content, different keys")
+	}
+	if eng.CorpusKey("p", ks[:2], machine.Eval(6)) == a {
+		t.Fatal("machine not in key")
+	}
+	if eng.CorpusKey("p", ks[:3], machine.Eval(3)) == a {
+		t.Fatal("corpus not in key")
+	}
+}

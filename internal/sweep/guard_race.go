@@ -1,0 +1,10 @@
+//go:build race
+
+package sweep
+
+// digestGuard enables the memo-consistency check in digestOf under the
+// race detector (which CI runs): every memo hit recomputes the digest
+// and panics on mismatch, turning a violation of the "mutators only
+// add" invariant into a loud failure instead of silently wrong cached
+// schedules.
+const digestGuard = true

@@ -1,0 +1,66 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/machine"
+)
+
+// memoEntry is a single-flight slot for a whole result set.
+type memoEntry struct {
+	ready chan struct{}
+	val   any
+	err   error
+}
+
+// Memo returns the value for key, computing it with fn at most once per
+// engine while it succeeds. It is how runners share entire result sets —
+// e.g. Figures 6 and 7 consume the same register sweep, so the second
+// figure's sweep is a single map lookup. Concurrent callers of the same
+// key block until the first computation finishes and share its result.
+//
+// Unlike the schedule cache, failed computations are NOT retained: fn may
+// fail for caller-dependent reasons (context cancellation), so the next
+// caller recomputes. Waiters that observed the failure receive the error.
+func (e *Engine) Memo(key string, fn func() (any, error)) (any, error) {
+	e.memoMu.Lock()
+	if e.memos == nil {
+		e.memos = map[string]*memoEntry{}
+	}
+	if en, ok := e.memos[key]; ok {
+		e.memoMu.Unlock()
+		<-en.ready
+		return en.val, en.err
+	}
+	en := &memoEntry{ready: make(chan struct{})}
+	e.memos[key] = en
+	e.memoMu.Unlock()
+
+	en.val, en.err = fn()
+	if en.err != nil {
+		e.memoMu.Lock()
+		delete(e.memos, key)
+		e.memoMu.Unlock()
+	}
+	close(en.ready)
+	return en.val, en.err
+}
+
+// CorpusKey derives a stable Memo key for a computation over (corpus,
+// machine): the prefix namespaces the computation, and the corpus
+// contributes the canonical digest of every graph, so two corpora with
+// identical content share keys regardless of slice identity.
+func (e *Engine) CorpusKey(prefix string, corpus []*ddg.Graph, m *machine.Config) string {
+	h := sha256.New()
+	h.Write([]byte(prefix))
+	h.Write([]byte{0})
+	h.Write([]byte(m.Name()))
+	h.Write([]byte{0})
+	for _, g := range corpus {
+		d := e.cache.digestOf(g)
+		h.Write(d[:])
+	}
+	return prefix + "/" + m.Name() + "/" + hex.EncodeToString(h.Sum(nil)[:16])
+}

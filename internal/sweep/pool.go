@@ -1,0 +1,89 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// maxReportedErrors bounds the number of per-item errors carried in the
+// aggregate; beyond it only a count is reported. A corpus-wide failure
+// mode (e.g. a machine with no memory ports) would otherwise produce
+// hundreds of identical lines.
+const maxReportedErrors = 16
+
+// ForEach runs fn(i) for i in [0,n) on a bounded worker pool of the given
+// width (<= 0 selects one worker per item, capped at n).
+//
+// Unlike a fail-fast pool, ForEach keeps going after an item fails and
+// returns every per-item error, joined — until maxReportedErrors have
+// accumulated, at which point a systemic failure is evident and the
+// pool stops dispatching new items rather than burning the rest of the
+// workload on errors nobody will see (in-flight items still finish and
+// are counted). When ctx is cancelled the pool stops handing out new
+// items and returns promptly — after at most the in-flight items
+// finish — with an error satisfying errors.Is(err, ctx.Err()).
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		errs    []error
+		dropped int
+		next    int
+	)
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n || len(errs) >= maxReportedErrors {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	fail := func(e error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(errs) < maxReportedErrors {
+			errs = append(errs, e)
+		} else {
+			dropped++
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := take()
+				if i < 0 {
+					return
+				}
+				if e := fn(i); e != nil {
+					fail(e)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if dropped > 0 {
+		errs = append(errs, fmt.Errorf("... and %d more errors", dropped))
+	}
+	if err := ctx.Err(); err != nil {
+		errs = append([]error{err}, errs...)
+	}
+	return errors.Join(errs...)
+}
+
+// ForEach runs fn(i) for i in [0,n) on the engine's worker pool, with the
+// pool's cancellation and error-aggregation semantics.
+func (e *Engine) ForEach(ctx context.Context, n int, fn func(i int) error) error {
+	return ForEach(ctx, n, e.workers, fn)
+}

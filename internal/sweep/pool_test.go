@@ -1,0 +1,126 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsEverything(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForEach(context.Background(), 100, 8, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d items", ran.Load())
+	}
+	if err := ForEach(context.Background(), 0, 8, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForEachAggregatesErrors checks the pool keeps going after a
+// failure and reports every per-item error, not only the first.
+func TestForEachAggregatesErrors(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 50, 4, func(i int) error {
+		ran.Add(1)
+		if i%10 == 3 {
+			return fmt.Errorf("item %d failed", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected aggregated error")
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("pool stopped early: ran %d of 50", ran.Load())
+	}
+	var joined interface{ Unwrap() []error }
+	if !errors.As(err, &joined) {
+		t.Fatalf("error is not an aggregate: %v", err)
+	}
+	if n := len(joined.Unwrap()); n != 5 {
+		t.Fatalf("aggregated %d errors, want 5: %v", n, err)
+	}
+}
+
+// TestForEachBailsOnSystemicFailure checks that when every item fails,
+// the pool collects the error cap and stops dispatching instead of
+// running the whole workload.
+func TestForEachBailsOnSystemicFailure(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 10000, 1, func(i int) error {
+		ran.Add(1)
+		return fmt.Errorf("item %d", i)
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var joined interface{ Unwrap() []error }
+	if !errors.As(err, &joined) {
+		t.Fatalf("error is not an aggregate: %v", err)
+	}
+	if n := len(joined.Unwrap()); n != maxReportedErrors {
+		t.Fatalf("aggregated %d errors, want %d", n, maxReportedErrors)
+	}
+	if ran.Load() != maxReportedErrors {
+		t.Fatalf("pool ran %d items after systemic failure, want %d", ran.Load(), maxReportedErrors)
+	}
+}
+
+// TestForEachCancellation checks the acceptance property: a cancelled
+// run returns promptly with ctx.Err() and does not start remaining items.
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEach(ctx, 1000, 2, func(i int) error {
+			started.Add(1)
+			<-release
+			return nil
+		})
+	}()
+	// Let the two workers pick up their first items, then cancel.
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled ForEach did not return promptly")
+	}
+	if n := started.Load(); n > 10 {
+		t.Fatalf("cancellation did not stop the pool: %d items started", n)
+	}
+}
+
+// TestSweepCancellation checks cancellation end-to-end through the grid
+// executor: a pre-cancelled context compiles nothing.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := New(2)
+	grid := testGrid()
+	emitted := 0
+	err := eng.Sweep(ctx, grid, func(Result) { emitted++ })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if emitted != 0 {
+		t.Fatalf("cancelled sweep emitted %d results", emitted)
+	}
+}

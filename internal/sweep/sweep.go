@@ -1,0 +1,95 @@
+// Package sweep is the batch evaluation engine behind every experiment
+// runner: it executes (corpus × machine × model × register-size) grids on
+// a bounded, cancellable worker pool and shares modulo-scheduling work
+// across consumers through a content-addressed schedule cache.
+//
+// # Cache key scheme
+//
+// A schedule is fully determined by three inputs, which together form the
+// cache key:
+//
+//   - the dependence graph, identified by the SHA-256 digest of its
+//     canonical text encoding (ddg.(*Graph).Encode — loop header, nodes
+//     in ID order, edges in insertion order). Content addressing makes
+//     the cache correct under the spiller's in-place graph rewrites:
+//     after spill code is inserted the encoding changes, so the rewritten
+//     graph is a different key;
+//   - the machine configuration, identified by its Name(). Configs are
+//     immutable after construction and the presets give every distinct
+//     configuration a distinct name; callers constructing machines by
+//     hand must follow the same rule;
+//   - the sched.Options value (a small comparable struct), so the
+//     spiller's forced-MinII retries do not collide with the defaults.
+//
+// Each cached schedule is computed on a private clone of the request
+// graph, so the shared *sched.Schedule stays valid even when the caller
+// mutates its own graph afterwards (as the spill loop does). Cached
+// schedules are shared between consumers and must be treated as
+// read-only; every consumer in this repository already does (core.Swap
+// copies before rebalancing).
+//
+// Hit/miss counters are exported through Cache.Stats for benchmarking:
+// Misses is the number of schedules actually computed, Hits the number of
+// sched.Run calls the cache absorbed.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+
+	"ncdrf/internal/core"
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/machine"
+	"ncdrf/internal/sched"
+	"ncdrf/internal/spill"
+)
+
+// Engine bundles the schedule cache with a worker-pool width. The zero
+// value is not useful; construct with New. One Engine is meant to be
+// shared across every runner of a process (that is where the cross-figure
+// cache sharing comes from) and is safe for concurrent use.
+type Engine struct {
+	cache   *Cache
+	workers int
+
+	memoMu sync.Mutex
+	memos  map[string]*memoEntry
+}
+
+// New returns an engine with the given worker-pool width; workers <= 0
+// selects GOMAXPROCS.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{cache: NewCache(), workers: workers}
+}
+
+// Workers returns the pool width used by ForEach and Sweep.
+func (e *Engine) Workers() int { return e.workers }
+
+// Cache returns the engine's schedule cache (for stats reporting).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Schedule modulo-schedules g on m through the cache. It implements
+// spill.Scheduler, so the engine can be plugged into the spill loop.
+func (e *Engine) Schedule(g *ddg.Graph, m *machine.Config, opts sched.Options) (*sched.Schedule, error) {
+	return e.cache.Schedule(g, m, opts)
+}
+
+// Forget forwards to Cache.Forget so the engine itself satisfies the
+// spill loop's optional working-graph cleanup interface (VerifySample
+// hands the engine, not the cache, to vm.VerifyModelWith).
+func (e *Engine) Forget(g *ddg.Graph) { e.cache.Forget(g) }
+
+// Compile runs the full limited-register pipeline for one loop under one
+// model — spill until the allocation fits — with every scheduling request
+// served through the cache. The Ideal model ignores regs (its register
+// file is unlimited).
+func (e *Engine) Compile(g *ddg.Graph, m *machine.Config, model core.Model, regs int) (*spill.Result, error) {
+	limit := regs
+	if model == core.Ideal {
+		limit = 0
+	}
+	return spill.RunWith(e.cache, g, m, limit, core.Fit(model), sched.Options{})
+}

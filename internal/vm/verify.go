@@ -24,11 +24,17 @@ import (
 // (the non-consistent-dual correctness condition), and that spill code
 // preserves semantics.
 func VerifyModel(g *ddg.Graph, m *machine.Config, model core.Model, regs, iters int) error {
+	return VerifyModelWith(nil, g, m, model, regs, iters)
+}
+
+// VerifyModelWith is VerifyModel with every scheduling request routed
+// through sr (e.g. a shared schedule cache); a nil sr schedules directly.
+func VerifyModelWith(sr spill.Scheduler, g *ddg.Graph, m *machine.Config, model core.Model, regs, iters int) error {
 	want, err := RunReference(g, iters)
 	if err != nil {
 		return fmt.Errorf("vm: reference: %w", err)
 	}
-	res, err := spill.Run(g, m, regs, core.Fit(model), sched.Options{})
+	res, err := spill.RunWith(sr, g, m, regs, core.Fit(model), sched.Options{})
 	if err != nil {
 		return err
 	}
