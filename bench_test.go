@@ -23,6 +23,7 @@ import (
 	"ncdrf/internal/loopgen"
 	"ncdrf/internal/loops"
 	"ncdrf/internal/machine"
+	"ncdrf/internal/pipeline"
 	"ncdrf/internal/regalloc"
 	"ncdrf/internal/regfile"
 	"ncdrf/internal/sched"
@@ -225,6 +226,59 @@ func BenchmarkRegfileModel(b *testing.B) {
 			b.Fatal("degenerate model outputs")
 		}
 	}
+}
+
+// BenchmarkCompileAllVsPerModel measures the staged pipeline's headline
+// saving: "compile-all" evaluates the four register-file models over ONE
+// shared base stage (schedule + lifetimes computed once per loop), while
+// "per-model" rebuilds the base for every model, the way the monolithic
+// Compile path did. Both run the curated kernels at latency 6 with a
+// 32-register file, so the spilling work is identical and the delta is
+// pure base-stage sharing.
+func BenchmarkCompileAllVsPerModel(b *testing.B) {
+	ks := loops.Kernels()
+	m := machine.Eval(6)
+	const regs = 32
+	ctx := context.Background()
+	b.Run("per-model", func(b *testing.B) {
+		sc := &schedCounter{}
+		for i := 0; i < b.N; i++ {
+			sc.calls = 0
+			for _, g := range ks {
+				for _, model := range core.Models {
+					base, err := pipeline.NewBaseWith(sc, g, m, sched.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := pipeline.Evaluate(ctx, sc, base, model, regs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(sc.calls), "scheds/op")
+	})
+	b.Run("compile-all", func(b *testing.B) {
+		sc := &schedCounter{}
+		for i := 0; i < b.N; i++ {
+			sc.calls = 0
+			for _, g := range ks {
+				if _, err := pipeline.CompileAll(ctx, sc, g, m, regs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(sc.calls), "scheds/op")
+	})
+}
+
+// schedCounter counts scheduler invocations for the staged-vs-per-model
+// comparison; it does no caching, so every call is a real sched.Run.
+type schedCounter struct{ calls int }
+
+func (c *schedCounter) Schedule(g *ddg.Graph, m *machine.Config, opts sched.Options) (*sched.Schedule, error) {
+	c.calls++
+	return sched.Run(g, m, opts)
 }
 
 // --- micro-benchmarks of the pipeline stages ---

@@ -14,6 +14,7 @@ import (
 	"ncdrf/internal/loopgen"
 	"ncdrf/internal/loops"
 	"ncdrf/internal/machine"
+	"ncdrf/internal/pipeline"
 	"ncdrf/internal/regfile"
 	"ncdrf/internal/report"
 	"ncdrf/internal/sched"
@@ -37,16 +38,16 @@ func cmdExample(args []string) error {
 	}
 	g := loops.PaperExample()
 	m := machine.Example()
-	s, err := sched.Run(g, m, sched.Options{})
+	b, err := pipeline.NewBase(g, m, sched.Options{})
 	if err != nil {
 		return err
 	}
+	s, lts := b.Sched, b.Lifetimes
 	fmt.Printf("machine: %s\n", m)
 	fmt.Printf("loop: %s, II=%d, stages=%d\n\n", g.LoopName, s.II, s.Stages())
 	fmt.Println("kernel (Figure 4):")
 	fmt.Println(s.Kernel())
 
-	lts := lifetime.Compute(s)
 	tb := &report.Table{
 		Title:   "Table 2: lifetimes of loop variants",
 		Headers: []string{"value", "start", "end", "lifetime"},
@@ -85,7 +86,7 @@ func cmdExample(args []string) error {
 	fmt.Println()
 	tb = &report.Table{Title: "register requirements", Headers: []string{"model", "registers"}}
 	for _, model := range core.Models {
-		req, _, err := core.Requirement(model, s, lts)
+		req, _, err := b.Requirement(model)
 		if err != nil {
 			return err
 		}
@@ -244,6 +245,11 @@ func cmdAll(ctx context.Context, eng *sweep.Engine, args []string) error {
 	fmt.Printf("functional verification: %d loop/model combinations executed on the simulated\n", n)
 	fmt.Printf("rotating register files, all bit-identical to the sequential reference\n")
 	fmt.Printf("\nschedule cache: %s\n", eng.Cache().Stats())
+	st := eng.Cache().StageStats()
+	fmt.Printf("stage base: %d requests, %d computed (one per loop x machine), %d served from cache\n",
+		st.Base.Requests(), st.Base.Misses, st.Base.Hits)
+	fmt.Printf("stage eval: %d requests, %d computed, %d served from cache\n",
+		st.Eval.Requests(), st.Eval.Misses, st.Eval.Hits)
 	return nil
 }
 
@@ -273,7 +279,7 @@ func cmdSchedule(args []string) error {
 	if *example {
 		m = machine.Example()
 	}
-	s, err := sched.Run(g, m, sched.Options{})
+	b, err := pipeline.NewBase(g, m, sched.Options{})
 	if err != nil {
 		return err
 	}
@@ -282,8 +288,8 @@ func cmdSchedule(args []string) error {
 		return err
 	}
 	fmt.Printf("loop %s on %s\n", g.LoopName, m)
-	fmt.Printf("ResMII=%d RecMII=%d MII=%d achieved II=%d stages=%d\n\n", res, rec, mii, s.II, s.Stages())
-	fmt.Println(s.Kernel())
+	fmt.Printf("ResMII=%d RecMII=%d MII=%d achieved II=%d stages=%d\n\n", res, rec, mii, b.Sched.II, b.Sched.Stages())
+	fmt.Println(b.Sched.Kernel())
 	return nil
 }
 
@@ -299,16 +305,16 @@ func cmdAlloc(args []string) error {
 		return err
 	}
 	m := machine.Eval(*lat)
-	s, err := sched.Run(g, m, sched.Options{})
+	b, err := pipeline.NewBase(g, m, sched.Options{})
 	if err != nil {
 		return err
 	}
-	lts := lifetime.Compute(s)
+	s, lts := b.Sched, b.Lifetimes
 	fmt.Printf("loop %s on %s: II=%d, %d values, MaxLive=%d\n",
 		g.LoopName, m.Name(), s.II, len(lts), lifetime.MaxLive(lts, s.II))
 	tb := &report.Table{Headers: []string{"model", "registers"}}
 	for _, model := range core.Models[1:] {
-		req, _, err := core.Requirement(model, s, lts)
+		req, _, err := b.Requirement(model)
 		if err != nil {
 			return err
 		}

@@ -6,10 +6,10 @@ import (
 
 	"ncdrf/internal/codegen"
 	"ncdrf/internal/core"
-	"ncdrf/internal/lifetime"
 	"ncdrf/internal/loopgen"
 	"ncdrf/internal/loops"
 	"ncdrf/internal/machine"
+	"ncdrf/internal/pipeline"
 	"ncdrf/internal/sched"
 	"ncdrf/internal/vm"
 )
@@ -70,8 +70,8 @@ func cmdVerify(args []string) error {
 	return nil
 }
 
-// buildRegMap schedules a loop and constructs the register mapping for
-// the requested model (swapping first for the swapped model).
+// buildRegMap runs the base stage for a loop and constructs the register
+// mapping for the requested model (swapping first for the swapped model).
 func buildRegMap(name string, m *machine.Config, modelName string) (*sched.Schedule, vm.RegMap, error) {
 	g, err := findLoop(name)
 	if err != nil {
@@ -81,14 +81,14 @@ func buildRegMap(name string, m *machine.Config, modelName string) (*sched.Sched
 	if err != nil {
 		return nil, nil, err
 	}
-	s, err := sched.Run(g, m, sched.Options{})
+	b, err := pipeline.NewBase(g, m, sched.Options{})
 	if err != nil {
 		return nil, nil, err
 	}
+	s, lts := b.Sched, b.Lifetimes
 	if model == core.Swapped {
 		s, _ = core.Swap(s, core.SwapOptions{})
 	}
-	lts := lifetime.Compute(s)
 	if model == core.Unified || model == core.Ideal {
 		u, err := vm.NewUnifiedMap(lts, s.II)
 		if err != nil {

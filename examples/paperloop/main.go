@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,21 +32,25 @@ func main() {
 		fmt.Printf("  %-12s %2d registers\n", model, reqs[model])
 	}
 
+	// CompileAll evaluates every model over one shared base schedule:
+	// the scheduler and lifetime analysis run once, not per model.
+	at64, err := ncdrf.CompileAll(context.Background(), loop, m, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nsteady-state kernel under each model:")
 	for _, model := range []ncdrf.Model{ncdrf.Unified, ncdrf.Swapped} {
-		res, err := ncdrf.Compile(loop, m, model, 64)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\n%s (%d registers):\n%s", model, res.Registers, res.Kernel)
+		res := at64[model]
+		fmt.Printf("\n%s (%d registers):\n%s", model, res.Registers, res.Kernel())
 	}
 
+	at32, err := ncdrf.CompileAll(context.Background(), loop, m, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nwith a 32-register file the unified organization must spill, the NCDRF does not:")
 	for _, model := range []ncdrf.Model{ncdrf.Unified, ncdrf.Partitioned, ncdrf.Swapped} {
-		res, err := ncdrf.Compile(loop, m, model, 32)
-		if err != nil {
-			log.Fatal(err)
-		}
+		res := at32[model]
 		fmt.Printf("  %-12s II=%d spilled=%d memops/iter=%d\n",
 			model, res.II, res.SpilledValues, res.MemOps)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,14 +35,13 @@ func main() {
 		"regs", "II", "spilled", "memops/iter", "II", "spilled", "memops/iter")
 	fmt.Println("-------+------------------------------+-----------------------------")
 	for _, regs := range []int{64, 48, 40, 32, 24, 16} {
-		uni, err := ncdrf.Compile(loop, m, ncdrf.Unified, regs)
+		// One staged compile per file size: all four models share a
+		// single base schedule (the table prints two of them).
+		all, err := ncdrf.CompileAll(context.Background(), loop, m, regs)
 		if err != nil {
 			log.Fatal(err)
 		}
-		dual, err := ncdrf.Compile(loop, m, ncdrf.Swapped, regs)
-		if err != nil {
-			log.Fatal(err)
-		}
+		uni, dual := all[ncdrf.Unified], all[ncdrf.Swapped]
 		fmt.Printf("%-6d | %-4d %-7d %-11d | %-4d %-7d %-11d\n",
 			regs, uni.II, uni.SpilledValues, uni.MemOps,
 			dual.II, dual.SpilledValues, dual.MemOps)

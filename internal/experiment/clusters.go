@@ -7,10 +7,8 @@ import (
 
 	"ncdrf/internal/core"
 	"ncdrf/internal/ddg"
-	"ncdrf/internal/lifetime"
 	"ncdrf/internal/machine"
 	"ncdrf/internal/report"
-	"ncdrf/internal/sched"
 	"ncdrf/internal/sweep"
 )
 
@@ -67,14 +65,13 @@ func ClusterScaling(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph,
 		accs := make([]acc, len(corpus))
 		err := eng.ForEach(ctx, len(corpus), func(i int) error {
 			g := corpus[i]
-			s, err := eng.Schedule(g, m, sched.Options{})
+			b, err := eng.Base(ctx, g, m)
 			if err != nil {
 				return fmt.Errorf("%s on %s: %w", g.LoopName, m.Name(), err)
 			}
-			lts := lifetime.Compute(s)
-			a := acc{ii: s.II}
+			a := acc{ii: b.Sched.II}
 			for _, model := range core.Models {
-				req, _, err := core.Requirement(model, s, lts)
+				req, _, err := b.Requirement(model)
 				if err != nil {
 					return err
 				}

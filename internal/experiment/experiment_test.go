@@ -209,21 +209,21 @@ func TestLatencySixNeedsMoreRegisters(t *testing.T) {
 func TestCompileLoopIdealVsLimited(t *testing.T) {
 	g := loops.PaperExample()
 	m := machine.Example()
-	ideal, err := CompileLoop(testEng(), g, m, core.Ideal, 0)
+	ideal, err := CompileLoop(context.Background(), testEng(), g, m, core.Ideal, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ideal.II != 1 || ideal.MemOps != 3 || ideal.Spilled != 0 {
 		t.Fatalf("ideal run = %+v", ideal)
 	}
-	limited, err := CompileLoop(testEng(), g, m, core.Unified, 32)
+	limited, err := CompileLoop(context.Background(), testEng(), g, m, core.Unified, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if limited.Spilled == 0 || limited.MemOps <= 3 {
 		t.Fatalf("unified@32 must spill: %+v", limited)
 	}
-	dual, err := CompileLoop(testEng(), g, m, core.Partitioned, 32)
+	dual, err := CompileLoop(context.Background(), testEng(), g, m, core.Partitioned, 32)
 	if err != nil {
 		t.Fatal(err)
 	}

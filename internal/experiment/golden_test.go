@@ -53,9 +53,11 @@ func TestFigCSVGolden(t *testing.T) {
 
 // TestPaperPipelineCacheSharing runs the paper's whole pipeline shape
 // (Table 1, Figures 6-9, verification) on one shared engine and asserts
-// the acceptance property of the sweep engine: the schedule cache
-// absorbs at least half of all scheduling requests, i.e. the pipeline
-// computes >= 2x fewer schedules than it would uncached.
+// the acceptance property of the staged pipeline: the base stage
+// (schedule + lifetimes) is computed once per (loop, machine) and shared
+// by every model, figure and register size, absorbing at least 2x of the
+// base-stage requests — and the schedule stage itself only ever runs for
+// distinct scheduling problems (base schedules and post-spill rounds).
 func TestPaperPipelineCacheSharing(t *testing.T) {
 	corpus := loops.Kernels()
 	eng := testEng()
@@ -76,12 +78,19 @@ func TestPaperPipelineCacheSharing(t *testing.T) {
 	if _, err := VerifySample(ctx0, eng, corpus, machine.Eval(6), 0, 8, 5); err != nil {
 		t.Fatal(err)
 	}
-	st := eng.Cache().Stats()
-	if st.Requests() == 0 {
-		t.Fatal("pipeline made no scheduling requests")
+	st := eng.Cache().StageStats()
+	if st.Base.Requests() == 0 {
+		t.Fatal("pipeline made no base-stage requests")
 	}
-	if st.Requests() < 2*st.Misses {
-		t.Fatalf("cache sharing below 2x: %d requests, %d computed", st.Requests(), st.Misses)
+	if st.Base.Requests() < 2*st.Base.Misses {
+		t.Fatalf("base-stage sharing below 2x: %d requests, %d computed",
+			st.Base.Requests(), st.Base.Misses)
 	}
-	t.Logf("schedule cache: %s", st)
+	// Exactly one base artifact per (loop, machine) pair touched by the
+	// exhibits: 4 Table 1 configs + eval machines at latency 3 and 6.
+	if want := uint64(len(corpus) * 6); st.Base.Misses != want {
+		t.Fatalf("base stage computed %d artifacts, want one per loop x machine = %d",
+			st.Base.Misses, want)
+	}
+	t.Logf("stage stats:\n%s", st)
 }

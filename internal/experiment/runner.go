@@ -1,10 +1,9 @@
-// Package experiment wires the substrates into the paper's evaluation
-// pipeline (schedule -> classify -> swap -> allocate -> spill) and
-// implements one runner per table/figure of the paper: Table 1 and
-// Figures 6, 7, 8 and 9. Every runner executes on a shared sweep.Engine:
-// a cancellable worker pool over a content-addressed schedule cache, so
-// the figures share their (identical) scheduling work instead of
-// recomputing it.
+// Package experiment wires the staged pipeline (internal/pipeline) into
+// the paper's evaluation runners: Table 1 and Figures 6, 7, 8 and 9.
+// Every runner executes on a shared sweep.Engine — a cancellable worker
+// pool over a stage-granular, content-addressed cache — so the base
+// stage (modulo schedule + lifetimes) of each (loop, machine) pair is
+// computed once and shared by every model, figure and register size.
 package experiment
 
 import (
@@ -13,12 +12,10 @@ import (
 
 	"ncdrf/internal/core"
 	"ncdrf/internal/ddg"
-	"ncdrf/internal/lifetime"
 	"ncdrf/internal/loopgen"
 	"ncdrf/internal/loops"
 	"ncdrf/internal/machine"
 	"ncdrf/internal/perf"
-	"ncdrf/internal/sched"
 	"ncdrf/internal/sweep"
 	"ncdrf/internal/vm"
 )
@@ -63,14 +60,13 @@ func registerSweep(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, 
 	out := make([]Requirements, len(corpus))
 	err := eng.ForEach(ctx, len(corpus), func(i int) error {
 		g := corpus[i]
-		s, err := eng.Schedule(g, m, sched.Options{})
+		b, err := eng.Base(ctx, g, m)
 		if err != nil {
 			return fmt.Errorf("%s: %w", g.LoopName, err)
 		}
-		lts := lifetime.Compute(s)
-		r := Requirements{Name: g.LoopName, Trips: g.TripsOrOne(), II: s.II, Ops: g.NumNodes()}
+		r := Requirements{Name: g.LoopName, Trips: g.TripsOrOne(), II: b.Sched.II, Ops: g.NumNodes()}
 		for _, model := range core.Models {
-			req, _, err := core.Requirement(model, s, lts)
+			req, _, err := b.Requirement(model)
 			if err != nil {
 				return fmt.Errorf("%s/%v: %w", g.LoopName, model, err)
 			}
@@ -85,10 +81,10 @@ func registerSweep(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, 
 	return out, nil
 }
 
-// CompileLoop runs the full limited-register pipeline for one loop under
-// one model: spill until the allocation fits, then report the run.
-func CompileLoop(eng *sweep.Engine, g *ddg.Graph, m *machine.Config, model core.Model, regs int) (perf.LoopRun, error) {
-	res, err := eng.Compile(g, m, model, regs)
+// CompileLoop runs the staged limited-register pipeline for one loop
+// under one model: spill until the allocation fits, then report the run.
+func CompileLoop(ctx context.Context, eng *sweep.Engine, g *ddg.Graph, m *machine.Config, model core.Model, regs int) (perf.LoopRun, error) {
+	res, err := eng.Compile(ctx, g, m, model, regs)
 	if err != nil {
 		return perf.LoopRun{}, fmt.Errorf("%s/%v: %w", g.LoopName, model, err)
 	}
@@ -121,7 +117,7 @@ func ModelRuns(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, m *m
 func modelRuns(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, m *machine.Config, model core.Model, regs int) ([]perf.LoopRun, error) {
 	out := make([]perf.LoopRun, len(corpus))
 	err := eng.ForEach(ctx, len(corpus), func(i int) error {
-		run, err := CompileLoop(eng, corpus[i], m, model, regs)
+		run, err := CompileLoop(ctx, eng, corpus[i], m, model, regs)
 		if err != nil {
 			return err
 		}
@@ -151,7 +147,7 @@ func VerifySample(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, m
 	count := len(sample) * len(models)
 	err := eng.ForEach(ctx, len(sample), func(i int) error {
 		for _, model := range models {
-			if err := vm.VerifyModelWith(eng, sample[i], m, model, regs, iters); err != nil {
+			if err := vm.VerifyModelWith(ctx, eng, sample[i], m, model, regs, iters); err != nil {
 				return err
 			}
 		}

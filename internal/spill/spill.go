@@ -9,6 +9,7 @@
 package spill
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -28,8 +29,15 @@ type Result struct {
 	// Sched is the final, fitting schedule (possibly rebalanced by the
 	// fit function).
 	Sched *sched.Schedule
-	// Graph is the final dependence graph including spill code.
+	// Graph is the final dependence graph including spill code. When
+	// nothing was spilled it is the caller's input graph itself (the
+	// spill loop only clones once it has to mutate), so treat it as
+	// read-only.
 	Graph *ddg.Graph
+	// Lifetimes are the value lifetimes of the final round's schedule.
+	// They also hold for a swap-rebalanced Sched: lifetimes depend only
+	// on issue cycles, which swapping preserves.
+	Lifetimes []lifetime.Lifetime
 	// SpilledValues is the number of values spilled.
 	SpilledValues int
 	// SpillStores and SpillLoads count inserted memory operations.
@@ -56,42 +64,70 @@ type Scheduler interface {
 	Schedule(g *ddg.Graph, m *machine.Config, opts sched.Options) (*sched.Schedule, error)
 }
 
-// Run executes the spill loop on a copy of g. regs <= 0 means an
-// unlimited register file: the first schedule is returned untouched.
-func Run(g *ddg.Graph, m *machine.Config, regs int, fit FitFunc, opts sched.Options) (*Result, error) {
-	return RunWith(nil, g, m, regs, fit, opts)
+// Seed carries precomputed base-stage artifacts (see internal/pipeline)
+// into the spill loop: the schedule of the unmodified input graph and its
+// lifetimes. A seeded run consumes them as its first round instead of
+// re-entering the scheduler for work already done.
+type Seed struct {
+	Sched     *sched.Schedule
+	Lifetimes []lifetime.Lifetime
 }
 
-// RunWith is Run with every scheduling request routed through sr; a nil
-// sr schedules directly with sched.Run.
-func RunWith(sr Scheduler, g *ddg.Graph, m *machine.Config, regs int, fit FitFunc, opts sched.Options) (*Result, error) {
+// Run executes the spill loop on g. regs <= 0 means an unlimited
+// register file: the first schedule is returned untouched.
+func Run(g *ddg.Graph, m *machine.Config, regs int, fit FitFunc, opts sched.Options) (*Result, error) {
+	return RunSeeded(context.Background(), nil, g, m, regs, fit, opts, nil)
+}
+
+// RunSeeded is the full-control spill loop: scheduling requests route
+// through sr (nil = sched.Run), and a non-nil seed supplies the first
+// round's schedule and lifetimes — the caller guarantees they were
+// computed from exactly (g, m, opts). The input graph is never mutated:
+// the loop works on g directly until it must insert spill code, and only
+// then switches to a private clone. ctx is checked between rounds, so a
+// cancelled context stops a long spill search promptly.
+func RunSeeded(ctx context.Context, sr Scheduler, g *ddg.Graph, m *machine.Config, regs int, fit FitFunc, opts sched.Options, seed *Seed) (*Result, error) {
 	schedule := sched.Run
 	if sr != nil {
 		schedule = sr.Schedule
 	}
-	work := g.Clone()
-	// work dies with this call; let a digest-memoizing scheduler drop
-	// its per-graph bookkeeping instead of pinning the graph forever.
-	if f, ok := sr.(interface{ Forget(*ddg.Graph) }); ok {
-		defer f.Forget(work)
-	}
+	work, cloned := g, false
+	defer func() {
+		// A clone dies with this call; let a digest-memoizing scheduler
+		// drop its per-graph bookkeeping instead of pinning it forever.
+		if cloned {
+			if f, ok := sr.(interface{ Forget(*ddg.Graph) }); ok {
+				f.Forget(work)
+			}
+		}
+	}()
 	res := &Result{}
 	unspillable := make(map[int]bool) // node IDs whose values may not be spilled again
 	slot := 0
 
 	for iter := 0; iter < maxIterations; iter++ {
-		res.Iterations = iter + 1
-		s, err := schedule(work, m, opts)
-		if err != nil {
-			return nil, fmt.Errorf("spill: %w", err)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("spill: %s: %w", g.LoopName, err)
 		}
-		lts := lifetime.Compute(s)
+		res.Iterations = iter + 1
+		var s *sched.Schedule
+		var lts []lifetime.Lifetime
+		if iter == 0 && seed != nil {
+			s, lts = seed.Sched, seed.Lifetimes
+		} else {
+			var err error
+			s, err = schedule(work, m, opts)
+			if err != nil {
+				return nil, fmt.Errorf("spill: %w", err)
+			}
+			lts = lifetime.Compute(s)
+		}
 		if regs <= 0 {
-			res.Sched, res.Graph = s, work
+			res.Sched, res.Graph, res.Lifetimes = s, work, lts
 			return res, nil
 		}
 		if final, ok := fit(s, lts, regs); ok {
-			res.Sched, res.Graph = final, work
+			res.Sched, res.Graph, res.Lifetimes = final, work, lts
 			return res, nil
 		}
 		victim, ok := pickVictim(work, lts, unspillable)
@@ -105,6 +141,9 @@ func RunWith(sr Scheduler, g *ddg.Graph, m *machine.Config, regs int, fit FitFun
 				opts.MinII++
 			}
 			continue
+		}
+		if !cloned {
+			work, cloned = g.Clone(), true
 		}
 		stores, loads := insertSpill(work, victim, slot, unspillable)
 		slot++

@@ -1,6 +1,9 @@
 package spill
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -245,5 +248,93 @@ func TestRunDoesNotMutateInput(t *testing.T) {
 	}
 	if g.NumNodes() != before {
 		t.Fatal("Run mutated the input graph")
+	}
+}
+
+// TestRunSeededMatchesUnseeded feeds the precomputed base schedule into
+// the spill loop and checks the outcome is indistinguishable from the
+// self-scheduling path, across fitting, spilling and II-bump regimes.
+func TestRunSeededMatchesUnseeded(t *testing.T) {
+	g := loops.PaperExample()
+	m := machine.Example()
+	s, err := sched.Run(g, m, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := &Seed{Sched: s, Lifetimes: lifetime.Compute(s)}
+	for _, regs := range []int{0, 64, 32, 16, 8} {
+		plain, err := Run(g, m, regs, core.Fit(core.Unified), sched.Options{})
+		if err != nil {
+			t.Fatalf("regs=%d: %v", regs, err)
+		}
+		seeded, err := RunSeeded(context.Background(), nil, g, m, regs, core.Fit(core.Unified), sched.Options{}, seed)
+		if err != nil {
+			t.Fatalf("regs=%d seeded: %v", regs, err)
+		}
+		if plain.Sched.II != seeded.Sched.II ||
+			plain.SpilledValues != seeded.SpilledValues ||
+			plain.SpillStores != seeded.SpillStores ||
+			plain.SpillLoads != seeded.SpillLoads ||
+			plain.IIBumps != seeded.IIBumps ||
+			plain.Iterations != seeded.Iterations ||
+			plain.MemOps() != seeded.MemOps() {
+			t.Fatalf("regs=%d: seeded run diverged: plain=%+v seeded=%+v", regs, plain, seeded)
+		}
+		var a, b bytes.Buffer
+		if err := plain.Graph.Encode(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := seeded.Graph.Encode(&b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("regs=%d: final graphs differ", regs)
+		}
+	}
+}
+
+// TestRunSeededSkipsSchedulerWhenFitting asserts the point of seeding:
+// a loop that fits without spilling must not re-enter the scheduler at
+// all, and the returned graph is the caller's own (no clone was taken).
+func TestRunSeededSkipsSchedulerWhenFitting(t *testing.T) {
+	g := loops.PaperExample()
+	m := machine.Example()
+	s, err := sched.Run(g, m, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := &Seed{Sched: s, Lifetimes: lifetime.Compute(s)}
+	counter := &countingScheduler{}
+	res, err := RunSeeded(context.Background(), counter, g, m, 64, core.Fit(core.Unified), sched.Options{}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter.calls != 0 {
+		t.Fatalf("seeded fitting run made %d scheduler calls, want 0", counter.calls)
+	}
+	if res.Graph != g {
+		t.Fatal("no-spill run should return the input graph, not a clone")
+	}
+	if res.Sched != s {
+		t.Fatal("no-spill run should return the seed schedule")
+	}
+}
+
+type countingScheduler struct{ calls int }
+
+func (c *countingScheduler) Schedule(g *ddg.Graph, m *machine.Config, opts sched.Options) (*sched.Schedule, error) {
+	c.calls++
+	return sched.Run(g, m, opts)
+}
+
+// TestRunSeededCancellation checks the context is honoured between spill
+// rounds: a pre-cancelled context stops the loop before any work.
+func TestRunSeededCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := loops.PaperExample()
+	_, err := RunSeeded(ctx, nil, g, machine.Example(), 16, core.Fit(core.Unified), sched.Options{}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,14 +1,18 @@
 package sweep
 
 import (
+	"context"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"ncdrf/internal/core"
 	"ncdrf/internal/ddg"
 	"ncdrf/internal/machine"
+	"ncdrf/internal/pipeline"
 	"ncdrf/internal/sched"
 )
 
@@ -28,6 +32,29 @@ type cacheEntry struct {
 	err   error
 }
 
+// baseEntry is a single-flight slot for a base-stage artifact (schedule
+// plus lifetimes of the unmodified loop).
+type baseEntry struct {
+	ready chan struct{}
+	base  *pipeline.Base
+	err   error
+}
+
+// evalKey identifies one per-model evaluation problem: the base-stage key
+// plus the model and the register budget.
+type evalKey struct {
+	base  cacheKey
+	model core.Model
+	regs  int
+}
+
+// evalEntry is a single-flight slot for a per-model stage result.
+type evalEntry struct {
+	ready chan struct{}
+	res   *pipeline.ModelResult
+	err   error
+}
+
 // CacheStats is a snapshot of the cache counters.
 type CacheStats struct {
 	// Hits is the number of Schedule calls served from the cache
@@ -40,7 +67,7 @@ type CacheStats struct {
 // Requests returns the total number of Schedule calls observed.
 func (s CacheStats) Requests() uint64 { return s.Hits + s.Misses }
 
-// String renders the stats in the form the CLI prints.
+// String renders the stats in the form the CLI's trailer prints.
 func (s CacheStats) String() string {
 	return fmt.Sprintf("%d schedule requests, %d computed, %d served from cache",
 		s.Requests(), s.Misses, s.Hits)
@@ -53,15 +80,21 @@ func (s CacheStats) String() string {
 type Cache struct {
 	mu      sync.Mutex
 	entries map[cacheKey]*cacheEntry
+	bases   map[cacheKey]*baseEntry
+	evals   map[evalKey]*evalEntry
 	// digests memoizes the canonical digest per graph pointer, keyed on
 	// the graph's (node count, edge count) for invalidation: every graph
 	// mutator in this repository only ever adds nodes and edges (the
 	// spiller rewrites its working graph with strictly more of both), so
 	// unchanged counts mean unchanged content. A future pass that edits a
 	// graph in place without growing it must bypass or clear this memo.
-	digests sync.Map // *ddg.Graph -> digestMemo
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+	digests    sync.Map // *ddg.Graph -> digestMemo
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	baseHits   atomic.Uint64
+	baseMisses atomic.Uint64
+	evalHits   atomic.Uint64
+	evalMisses atomic.Uint64
 }
 
 type digestMemo struct {
@@ -71,7 +104,11 @@ type digestMemo struct {
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	return &Cache{entries: map[cacheKey]*cacheEntry{}}
+	return &Cache{
+		entries: map[cacheKey]*cacheEntry{},
+		bases:   map[cacheKey]*baseEntry{},
+		evals:   map[evalKey]*evalEntry{},
+	}
 }
 
 // encBufs recycles the encoding buffers keyOf hashes; the cache sits on
@@ -163,16 +200,163 @@ func (c *Cache) Schedule(g *ddg.Graph, m *machine.Config, opts sched.Options) (*
 	return e.sched, e.err
 }
 
+// Base returns the (possibly shared) base-stage artifact of g on m: the
+// modulo schedule of the unmodified loop plus its value lifetimes,
+// computed at most once per distinct (graph content, machine, options)
+// triple. The underlying scheduling request routes through Schedule, so
+// the schedule-stage counters still observe it. The returned Base is
+// immutable and shared; treat it as read-only. ctx is consulted before
+// starting a computation and while waiting on another caller's in-flight
+// one; a computation once started runs to completion (it is ctx-free and
+// deterministic, so its result stays valid for every future caller).
+func (c *Cache) Base(ctx context.Context, g *ddg.Graph, m *machine.Config, opts sched.Options) (*pipeline.Base, error) {
+	key := c.keyOf(g, m, opts)
+	c.mu.Lock()
+	e, ok := c.bases[key]
+	if ok {
+		c.mu.Unlock()
+		c.baseHits.Add(1)
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return e.base, e.err
+	}
+	if err := ctx.Err(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	e = &baseEntry{ready: make(chan struct{})}
+	c.bases[key] = e
+	c.mu.Unlock()
+	c.baseMisses.Add(1)
+
+	e.base, e.err = pipeline.NewBaseWith(c, g, m, opts)
+	close(e.ready)
+	return e.base, e.err
+}
+
+// Evaluate returns the (possibly shared) per-model stage result — the
+// Classified → Allocated → Spilled chain of internal/pipeline — computed
+// at most once per distinct (graph content, machine, options, model,
+// register budget). All models of one loop share a single base artifact.
+// Deterministic failures (unschedulable or non-converging problems) are
+// cached like results; context-cancellation errors are caller-dependent
+// and are not retained. A waiter that observes another caller's
+// cancellation retries while its own context is live, so one cancelled
+// sweep cannot poison a concurrent one.
+func (c *Cache) Evaluate(ctx context.Context, g *ddg.Graph, m *machine.Config, opts sched.Options, model core.Model, regs int) (*pipeline.ModelResult, error) {
+	if model == core.Ideal || regs < 0 {
+		regs = 0 // Ideal ignores the budget; all negatives mean unlimited
+	}
+	key := evalKey{base: c.keyOf(g, m, opts), model: model, regs: regs}
+	for {
+		c.mu.Lock()
+		e, ok := c.evals[key]
+		if !ok {
+			break // this caller computes; c.mu still held
+		}
+		c.mu.Unlock()
+		// Wait for the in-flight computation, but honour our own
+		// context: a waiter must not be pinned to another caller's
+		// long spill search after its own sweep is cancelled.
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if e.err == nil {
+			c.evalHits.Add(1)
+			return e.res, nil
+		}
+		// The computation failed. A retained entry means the failure is
+		// deterministic (still cached) — share it. A deleted entry means
+		// it was caller-dependent (the computing caller's cancellation):
+		// retry with our own context if it is still live.
+		c.mu.Lock()
+		retained := c.evals[key] == e
+		c.mu.Unlock()
+		if retained {
+			c.evalHits.Add(1)
+			return nil, e.err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	e := &evalEntry{ready: make(chan struct{})}
+	c.evals[key] = e
+	c.mu.Unlock()
+	c.evalMisses.Add(1)
+
+	b, err := c.Base(ctx, g, m, opts)
+	if err != nil {
+		e.err = err
+	} else {
+		e.res, e.err = pipeline.Evaluate(ctx, c, b, model, regs)
+	}
+	// Deterministic failures (e.g. spill non-convergence) are retained
+	// like the schedule stage retains unschedulable problems; only
+	// caller-dependent context errors are dropped so the next caller
+	// recomputes.
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		c.mu.Lock()
+		delete(c.evals, key)
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.res, e.err
+}
+
 // Forget drops the digest memo for g. The spill loop calls this (via an
-// optional interface check in spill.RunWith) when a private working
+// optional interface check in spill.RunSeeded) when a private working
 // graph dies, so the memo doesn't pin dead graphs for the engine's
 // lifetime. The schedule entries themselves are kept — they ARE the
 // cache, and later identical content still hits them.
 func (c *Cache) Forget(g *ddg.Graph) { c.digests.Delete(g) }
 
-// Stats returns a snapshot of the hit/miss counters.
+// Stats returns a snapshot of the schedule-stage hit/miss counters.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// StageStats is a per-stage snapshot of the cache counters: one
+// CacheStats per cached pipeline stage.
+type StageStats struct {
+	// Schedule counts modulo-scheduling requests (sched.Run-shaped work).
+	Schedule CacheStats
+	// Base counts base-stage requests: the shared schedule + lifetime
+	// artifact every model evaluation starts from.
+	Base CacheStats
+	// Eval counts per-model stage requests (classify/allocate/spill).
+	Eval CacheStats
+}
+
+// String renders the per-stage counters, one line per stage. (The CLI's
+// `ncdrf all` trailer formats the same counters itself, with the
+// schedule line kept in its historical `schedule cache:` form.)
+func (s StageStats) String() string {
+	return fmt.Sprintf(
+		"stage base: %d requests, %d computed, %d served from cache\n"+
+			"stage eval: %d requests, %d computed, %d served from cache\n"+
+			"stage schedule: %d requests, %d computed, %d served from cache",
+		s.Base.Requests(), s.Base.Misses, s.Base.Hits,
+		s.Eval.Requests(), s.Eval.Misses, s.Eval.Hits,
+		s.Schedule.Requests(), s.Schedule.Misses, s.Schedule.Hits)
+}
+
+// StageStats returns a snapshot of every stage's counters.
+func (c *Cache) StageStats() StageStats {
+	return StageStats{
+		Schedule: c.Stats(),
+		Base:     CacheStats{Hits: c.baseHits.Load(), Misses: c.baseMisses.Load()},
+		Eval:     CacheStats{Hits: c.evalHits.Load(), Misses: c.evalMisses.Load()},
+	}
 }
 
 // Len returns the number of distinct scheduling problems seen.

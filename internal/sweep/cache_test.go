@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 
@@ -137,7 +138,7 @@ func TestCompileForgetsWorkingGraphs(t *testing.T) {
 	if !ok {
 		t.Fatal("missing kernel")
 	}
-	res, err := eng.Compile(g, machine.Eval(6), core.Unified, 24)
+	res, err := eng.Compile(context.Background(), g, machine.Eval(6), core.Unified, 24)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,10 +147,10 @@ func TestCompileForgetsWorkingGraphs(t *testing.T) {
 	}
 	memoized := 0
 	eng.cache.digests.Range(func(any, any) bool { memoized++; return true })
-	// The spill loop only ever digested its private clone, and that
-	// entry must be gone now.
-	if memoized != 0 {
-		t.Fatalf("digest memo retains %d graphs, want 0", memoized)
+	// The base stage digested the caller's long-lived graph (that memo is
+	// useful and stays); the spill loop's private clone must be gone.
+	if memoized != 1 {
+		t.Fatalf("digest memo retains %d graphs, want 1 (the caller's)", memoized)
 	}
 }
 
@@ -167,5 +168,86 @@ func TestCacheCachesErrors(t *testing.T) {
 	_, err2 := c.Schedule(g, m, sched.Options{})
 	if err2 == nil || c.Stats().Misses != 1 || c.Stats().Hits != 1 {
 		t.Fatalf("error result not served from cache: %+v", c.Stats())
+	}
+}
+
+// TestEngineCompileAllStageSharing asserts the stage-granular caching
+// contract on the engine: CompileAll for one loop computes exactly one
+// base artifact (one scheduler entry for the base schedule), evaluates
+// four models, and a repeated CompileAll is served entirely from the
+// eval cache.
+func TestEngineCompileAllStageSharing(t *testing.T) {
+	eng := New(2)
+	g := loops.Kernels()[0]
+	m := machine.Eval(6)
+	ctx := context.Background()
+
+	first, err := eng.CompileAll(ctx, g, m, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Cache().StageStats()
+	if st.Base.Misses != 1 {
+		t.Fatalf("base stage computed %d artifacts, want 1", st.Base.Misses)
+	}
+	if st.Eval.Misses != uint64(len(core.Models)) {
+		t.Fatalf("eval stage computed %d results, want %d", st.Eval.Misses, len(core.Models))
+	}
+	for _, model := range core.Models {
+		if first[model] == nil || first[model].Model != model {
+			t.Fatalf("missing or misindexed result for %v", model)
+		}
+	}
+
+	again, err := eng.CompileAll(ctx, g, m, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Cache().StageStats()
+	if st.Eval.Misses != uint64(len(core.Models)) || st.Eval.Hits != uint64(len(core.Models)) {
+		t.Fatalf("repeat CompileAll not served from eval cache: %+v", st.Eval)
+	}
+	for _, model := range core.Models {
+		if again[model] != first[model] {
+			t.Fatalf("%v: repeat CompileAll returned a different artifact", model)
+		}
+	}
+}
+
+// TestEvaluateRetainsDeterministicErrors checks that an evaluation that
+// fails for content reasons (an unschedulable problem) is cached like a
+// result, while the cancellation test below shows ctx errors are not.
+func TestEvaluateRetainsDeterministicErrors(t *testing.T) {
+	eng := New(1)
+	m := machine.MustNew("no-mem2", []machine.ClusterSpec{{Adders: 1, Multipliers: 1}}, 3, 3, 1)
+	g := loops.Kernels()[0] // every kernel has loads; cannot schedule
+	ctx := context.Background()
+	if _, err := eng.Compile(ctx, g, m, core.Unified, 16); err == nil {
+		t.Fatal("expected scheduling failure")
+	}
+	if _, err := eng.Compile(ctx, g, m, core.Unified, 16); err == nil {
+		t.Fatal("expected cached scheduling failure")
+	}
+	st := eng.Cache().StageStats()
+	if st.Eval.Misses != 1 || st.Eval.Hits != 1 {
+		t.Fatalf("deterministic failure not retained: %+v", st.Eval)
+	}
+}
+
+// TestEngineCompileAllCancellation checks that a cancelled context
+// aborts the staged compile and that the failed evaluation is not
+// retained (a later call with a live context succeeds).
+func TestEngineCompileAllCancellation(t *testing.T) {
+	eng := New(2)
+	g := loops.Kernels()[0]
+	m := machine.Eval(6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// 8 registers forces spilling, whose rounds check the context.
+	if _, err := eng.CompileAll(ctx, g, m, 8); err == nil {
+		t.Fatal("want cancellation error")
+	}
+	if _, err := eng.CompileAll(context.Background(), g, m, 8); err != nil {
+		t.Fatalf("cancelled evaluation was retained: %v", err)
 	}
 }

@@ -103,8 +103,13 @@ func (e *Engine) Sweep(ctx context.Context, grid Grid, emit func(Result)) error 
 			Regs:    u.Regs,
 			Trips:   g.TripsOrOne(),
 		}
-		res, err := e.Compile(g, m, u.Model, u.Regs)
+		res, err := e.Compile(ctx, g, m, u.Model, u.Regs)
 		if err != nil {
+			// Cancellation is the sweep's error, not the unit's: don't
+			// emit rows a consumer could mistake for compile failures.
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			r.Error = err.Error()
 		} else {
 			r.II = res.Sched.II

@@ -64,11 +64,17 @@ func TestSweepEmitsEveryUnit(t *testing.T) {
 			t.Fatalf("degenerate result: %+v", r)
 		}
 	}
-	// The grid shares iteration-0 schedules across models and sizes, so
-	// the cache must have absorbed a large share of the requests.
-	st := eng.Cache().Stats()
-	if st.Hits == 0 || st.Requests() < 2*st.Misses {
-		t.Fatalf("grid sharing below 2x: %+v", st)
+	// The grid shares the base stage (schedule + lifetimes) across models
+	// and sizes: one base computed per (loop, machine), every other
+	// evaluation served from the stage cache.
+	st := eng.Cache().StageStats()
+	if st.Base.Hits == 0 || st.Base.Requests() < 2*st.Base.Misses {
+		t.Fatalf("base-stage sharing below 2x: %+v", st.Base)
+	}
+	wantBases := uint64(len(grid.Corpus) * len(grid.Machines))
+	if st.Base.Misses != wantBases {
+		t.Fatalf("base stage computed %d artifacts, want one per loop x machine = %d",
+			st.Base.Misses, wantBases)
 	}
 }
 

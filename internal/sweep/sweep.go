@@ -34,14 +34,15 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
 	"ncdrf/internal/core"
 	"ncdrf/internal/ddg"
 	"ncdrf/internal/machine"
+	"ncdrf/internal/pipeline"
 	"ncdrf/internal/sched"
-	"ncdrf/internal/spill"
 )
 
 // Engine bundles the schedule cache with a worker-pool width. The zero
@@ -82,14 +83,31 @@ func (e *Engine) Schedule(g *ddg.Graph, m *machine.Config, opts sched.Options) (
 // hands the engine, not the cache, to vm.VerifyModelWith).
 func (e *Engine) Forget(g *ddg.Graph) { e.cache.Forget(g) }
 
-// Compile runs the full limited-register pipeline for one loop under one
-// model — spill until the allocation fits — with every scheduling request
-// served through the cache. The Ideal model ignores regs (its register
-// file is unlimited).
-func (e *Engine) Compile(g *ddg.Graph, m *machine.Config, model core.Model, regs int) (*spill.Result, error) {
-	limit := regs
-	if model == core.Ideal {
-		limit = 0
+// Base returns the shared base-stage artifact (schedule + lifetimes) of
+// g on m with default options, served through the stage cache.
+func (e *Engine) Base(ctx context.Context, g *ddg.Graph, m *machine.Config) (*pipeline.Base, error) {
+	return e.cache.Base(ctx, g, m, sched.Options{})
+}
+
+// Compile runs the staged per-model pipeline for one loop — classify and
+// allocate the shared base schedule, spill until the allocation fits —
+// with every stage served through the cache. The Ideal model ignores
+// regs (its register file is unlimited).
+func (e *Engine) Compile(ctx context.Context, g *ddg.Graph, m *machine.Config, model core.Model, regs int) (*pipeline.ModelResult, error) {
+	return e.cache.Evaluate(ctx, g, m, sched.Options{}, model, regs)
+}
+
+// CompileAll evaluates every register-file model of one loop over a
+// single shared base artifact: the scheduler and the lifetime analysis
+// run (at most) once, and the four models reuse the result.
+func (e *Engine) CompileAll(ctx context.Context, g *ddg.Graph, m *machine.Config, regs int) ([core.NumModels]*pipeline.ModelResult, error) {
+	var out [core.NumModels]*pipeline.ModelResult
+	for _, model := range core.Models {
+		r, err := e.Compile(ctx, g, m, model, regs)
+		if err != nil {
+			return out, err
+		}
+		out[model] = r
 	}
-	return spill.RunWith(e.cache, g, m, limit, core.Fit(model), sched.Options{})
+	return out, nil
 }

@@ -1,13 +1,14 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"ncdrf/internal/core"
 	"ncdrf/internal/ddg"
-	"ncdrf/internal/lifetime"
 	"ncdrf/internal/machine"
+	"ncdrf/internal/pipeline"
 	"ncdrf/internal/sched"
 	"ncdrf/internal/spill"
 )
@@ -24,31 +25,47 @@ import (
 // (the non-consistent-dual correctness condition), and that spill code
 // preserves semantics.
 func VerifyModel(g *ddg.Graph, m *machine.Config, model core.Model, regs, iters int) error {
-	return VerifyModelWith(nil, g, m, model, regs, iters)
+	return VerifyModelWith(context.Background(), nil, g, m, model, regs, iters)
 }
 
-// VerifyModelWith is VerifyModel with every scheduling request routed
-// through sr (e.g. a shared schedule cache); a nil sr schedules directly.
-func VerifyModelWith(sr spill.Scheduler, g *ddg.Graph, m *machine.Config, model core.Model, regs, iters int) error {
+// compiler is the optional stage-cache interface of a Scheduler: a
+// sweep.Engine compiles through its stage-granular cache, so verifying
+// several models of one loop shares one base artifact and memoizes every
+// per-model evaluation.
+type compiler interface {
+	Compile(ctx context.Context, g *ddg.Graph, m *machine.Config, model core.Model, regs int) (*pipeline.ModelResult, error)
+}
+
+// VerifyModelWith is VerifyModel with every pipeline stage routed through
+// sr (e.g. a shared schedule cache); a nil sr computes stages directly.
+// ctx cancels the compilation between pipeline stages and spill rounds.
+func VerifyModelWith(ctx context.Context, sr spill.Scheduler, g *ddg.Graph, m *machine.Config, model core.Model, regs, iters int) error {
 	want, err := RunReference(g, iters)
 	if err != nil {
 		return fmt.Errorf("vm: reference: %w", err)
 	}
-	res, err := spill.RunWith(sr, g, m, regs, core.Fit(model), sched.Options{})
+	var res *pipeline.ModelResult
+	if cp, ok := sr.(compiler); ok {
+		res, err = cp.Compile(ctx, g, m, model, regs)
+	} else {
+		var b *pipeline.Base
+		if b, err = pipeline.NewBaseWith(sr, g, m, sched.Options{}); err == nil {
+			res, err = pipeline.Evaluate(ctx, sr, b, model, regs)
+		}
+	}
 	if err != nil {
 		return err
 	}
-	lts := lifetime.Compute(res.Sched)
 	var rm RegMap
 	switch model {
 	case core.Ideal, core.Unified:
-		u, err := NewUnifiedMap(lts, res.Sched.II)
+		u, err := NewUnifiedMap(res.Lifetimes, res.Sched.II)
 		if err != nil {
 			return err
 		}
 		rm = u
 	case core.Partitioned, core.Swapped:
-		d, err := NewDualMap(res.Sched, lts)
+		d, err := NewDualMap(res.Sched, res.Lifetimes)
 		if err != nil {
 			return err
 		}

@@ -12,31 +12,35 @@
 // access time. A greedy post-scheduling pass that swaps same-cycle
 // operations between clusters reduces the register requirements further.
 //
-// This package is the public facade over the full pipeline:
+// This package is the public facade over the staged compilation pipeline
+// (internal/pipeline): a loop is parsed once, modulo-scheduled once per
+// machine, its lifetimes analysed once, and every register-file model is
+// then classified, allocated and spilled on top of those shared immutable
+// base artifacts:
 //
 //   - ParseLoop compiles a textual loop (LIR) into a dependence graph;
-//   - Compile modulo-schedules a loop onto a machine, classifies and
-//     allocates its values under a register-file model, and spills when
-//     the file is too small;
+//   - Compile runs the staged pipeline for one loop under one model;
+//   - CompileAll evaluates all four models over one shared base schedule,
+//     so the scheduler and lifetime analysis run once instead of per model;
 //   - Requirements reports the register needs of all models at once;
 //   - Experiments regenerates every table and figure of the paper.
 //
 // See the examples directory for runnable walkthroughs and DESIGN.md for
-// the system inventory.
+// the stage graph, artifact ownership rules and cache-key scheme.
 package ncdrf
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"ncdrf/internal/core"
 	"ncdrf/internal/ddg"
-	"ncdrf/internal/lifetime"
 	"ncdrf/internal/lir"
 	"ncdrf/internal/loops"
 	"ncdrf/internal/machine"
+	"ncdrf/internal/pipeline"
 	"ncdrf/internal/sched"
-	"ncdrf/internal/spill"
 	"ncdrf/internal/vm"
 )
 
@@ -54,26 +58,37 @@ const (
 	Partitioned
 	// Swapped is Partitioned plus the greedy operation-swapping pass.
 	Swapped
+
+	// NumModels is the number of register-file models; CompileAll returns
+	// one Result per model, indexed by Model.
+	NumModels = core.NumModels
 )
 
 // Models lists all models in the paper's presentation order.
 var Models = []Model{Ideal, Unified, Partitioned, Swapped}
 
-// String returns the paper's name for the model.
-func (m Model) String() string { return m.internal().String() }
+// String returns the paper's name for the model, or "Model(n)" for an
+// out-of-range value.
+func (m Model) String() string {
+	cm, err := m.internal()
+	if err != nil {
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+	return cm.String()
+}
 
-func (m Model) internal() core.Model {
+func (m Model) internal() (core.Model, error) {
 	switch m {
 	case Ideal:
-		return core.Ideal
+		return core.Ideal, nil
 	case Unified:
-		return core.Unified
+		return core.Unified, nil
 	case Partitioned:
-		return core.Partitioned
+		return core.Partitioned, nil
 	case Swapped:
-		return core.Swapped
+		return core.Swapped, nil
 	default:
-		panic(fmt.Sprintf("ncdrf: invalid model %d", int(m)))
+		return 0, fmt.Errorf("ncdrf: invalid model Model(%d): valid models are Ideal, Unified, Partitioned and Swapped", int(m))
 	}
 }
 
@@ -181,45 +196,79 @@ type Result struct {
 	MemOps int
 	// Cycles is the steady-state execution time (II * trips).
 	Cycles int64
-	// Kernel is a printable rendering of the steady-state kernel.
-	Kernel string
+
+	final *sched.Schedule
 }
 
-// Compile runs the full pipeline for one loop: modulo scheduling, value
-// classification, rotating register allocation under the model, and the
-// naive spill loop when regs registers (per subfile) do not suffice.
-// regs <= 0 means unlimited.
-func Compile(l *Loop, m Machine, model Model, regs int) (*Result, error) {
-	cm := model.internal()
-	res, err := spill.Run(l.g, m.cfg, regsFor(model, regs), core.Fit(cm), sched.Options{})
+// Kernel renders the steady-state kernel of the final schedule. The
+// rendering is built lazily, on demand: most consumers (sweeps, figure
+// runners) never print it, and building it eagerly for every work unit
+// was measurable overhead. It returns "" on a Result not produced by
+// Compile or CompileAll (which is the only way to obtain a full one).
+func (r *Result) Kernel() string {
+	if r.final == nil {
+		return ""
+	}
+	return r.final.Kernel()
+}
+
+// newResult shapes one staged per-model outcome for the public facade,
+// running the (lazy) measurement stage: the facade reports Registers, so
+// it pays for the measurement; bulk consumers (sweeps, figures) do not.
+func newResult(l *Loop, model Model, mr *pipeline.ModelResult) (*Result, error) {
+	req, final, err := mr.Requirement()
 	if err != nil {
 		return nil, err
-	}
-	lts := lifetime.Compute(res.Sched)
-	req := 0
-	final := res.Sched
-	if model != Ideal {
-		req, final, err = core.Requirement(cm, res.Sched, lts)
-		if err != nil {
-			return nil, err
-		}
 	}
 	return &Result{
 		Model:         model,
 		II:            final.II,
 		Registers:     req,
-		SpilledValues: res.SpilledValues,
-		MemOps:        res.MemOps(),
+		SpilledValues: mr.SpilledValues,
+		MemOps:        mr.MemOps(),
 		Cycles:        int64(final.II) * l.g.TripsOrOne(),
-		Kernel:        final.Kernel(),
+		final:         final,
 	}, nil
 }
 
-func regsFor(model Model, regs int) int {
-	if model == Ideal {
-		return 0
+// Compile runs the staged pipeline for one loop under one model: modulo
+// scheduling, value classification, rotating register allocation under
+// the model, and the naive spill loop when regs registers (per subfile)
+// do not suffice. regs <= 0 means unlimited. To evaluate several models
+// of the same loop, CompileAll shares the scheduling work between them.
+func Compile(l *Loop, m Machine, model Model, regs int) (*Result, error) {
+	cm, err := model.internal()
+	if err != nil {
+		return nil, err
 	}
-	return regs
+	b, err := pipeline.NewBase(l.g, m.cfg, sched.Options{})
+	if err != nil {
+		return nil, err
+	}
+	mr, err := pipeline.Evaluate(context.Background(), nil, b, cm, regs)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(l, model, mr)
+}
+
+// CompileAll evaluates every register-file model of the loop over one
+// shared base stage: the modulo schedule and the lifetime analysis are
+// computed once and all four models are classified, allocated and (if
+// needed) spilled on top of them. The result is indexed by Model. ctx
+// cancels the evaluation between pipeline stages and spill rounds.
+func CompileAll(ctx context.Context, l *Loop, m Machine, regs int) ([NumModels]*Result, error) {
+	var out [NumModels]*Result
+	mrs, err := pipeline.CompileAll(ctx, nil, l.g, m.cfg, regs)
+	if err != nil {
+		return out, err
+	}
+	for i, mr := range mrs {
+		if out[i], err = newResult(l, Model(i), mr); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
 }
 
 // Verify compiles the loop under the model (spilling at the given file
@@ -230,24 +279,30 @@ func regsFor(model Model, regs int) int {
 // certifies the schedule, the allocation, the classification and any
 // spill code for this loop.
 func Verify(l *Loop, m Machine, model Model, regs, iters int) error {
-	return vm.VerifyModel(l.g, m.cfg, model.internal(), regs, iters)
+	cm, err := model.internal()
+	if err != nil {
+		return err
+	}
+	return vm.VerifyModel(l.g, m.cfg, cm, regs, iters)
 }
 
 // Requirements returns the unlimited-register requirement of the loop
-// under every model (Ideal maps to 0), plus the schedule's II.
+// under every model (Ideal maps to 0), plus the schedule's II. It is a
+// thin wrapper over the base stage: one schedule, one lifetime analysis,
+// four classification/allocation passes.
 func Requirements(l *Loop, m Machine) (map[Model]int, int, error) {
-	s, err := sched.Run(l.g, m.cfg, sched.Options{})
+	b, err := pipeline.NewBase(l.g, m.cfg, sched.Options{})
 	if err != nil {
 		return nil, 0, err
 	}
-	lts := lifetime.Compute(s)
 	out := make(map[Model]int, len(Models))
 	for _, model := range Models {
-		req, _, err := core.Requirement(model.internal(), s, lts)
+		cm, _ := model.internal() // Models holds only valid models
+		req, _, err := b.Requirement(cm)
 		if err != nil {
 			return nil, 0, err
 		}
 		out[model] = req
 	}
-	return out, s.II, nil
+	return out, b.Sched.II, nil
 }

@@ -2,6 +2,8 @@ package ncdrf
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -55,8 +57,8 @@ store y, s1
 	if res.Cycles != int64(res.II)*500 {
 		t.Fatalf("cycles = %d", res.Cycles)
 	}
-	if !strings.Contains(res.Kernel, "row 0:") {
-		t.Fatalf("kernel rendering missing:\n%s", res.Kernel)
+	if !strings.Contains(res.Kernel(), "row 0:") {
+		t.Fatalf("kernel rendering missing:\n%s", res.Kernel())
 	}
 }
 
@@ -87,6 +89,73 @@ func TestCompileSpillsWhenTight(t *testing.T) {
 	}
 	if dual.Registers != 23 {
 		t.Fatalf("swapped requirement = %d, want 23", dual.Registers)
+	}
+}
+
+// TestCompileAllMatchesCompilePerKernel is the pipeline-equivalence
+// gate: for every curated kernel at both paper latencies, CompileAll
+// (one shared base stage) must produce results identical to four
+// independent Compile calls (each re-running the whole pipeline).
+func TestCompileAllMatchesCompilePerKernel(t *testing.T) {
+	const regs = 32
+	for _, lat := range []int{3, 6} {
+		m := EvalMachine(lat)
+		for _, name := range KernelNames() {
+			l, err := KernelLoop(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all, err := CompileAll(context.Background(), l, m, regs)
+			if err != nil {
+				t.Fatalf("%s lat=%d: CompileAll: %v", name, lat, err)
+			}
+			for _, model := range Models {
+				one, err := Compile(l, m, model, regs)
+				if err != nil {
+					t.Fatalf("%s lat=%d %v: Compile: %v", name, lat, model, err)
+				}
+				got := all[model]
+				if got.Model != one.Model || got.II != one.II ||
+					got.Registers != one.Registers ||
+					got.SpilledValues != one.SpilledValues ||
+					got.MemOps != one.MemOps || got.Cycles != one.Cycles {
+					t.Fatalf("%s lat=%d %v: CompileAll %+v != Compile %+v",
+						name, lat, model, got, one)
+				}
+				if got.Kernel() != one.Kernel() {
+					t.Fatalf("%s lat=%d %v: kernels differ", name, lat, model)
+				}
+			}
+		}
+	}
+}
+
+// TestCompileAllCancellation checks the context threads through every
+// stage: a cancelled context aborts before any compilation work.
+func TestCompileAllCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompileAll(ctx, PaperExample(), ExampleMachine(), 16); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestInvalidModelReturnsError locks in the fix for the old facade
+// panic: an out-of-range Model must surface as a descriptive error from
+// every entry point that accepts one.
+func TestInvalidModelReturnsError(t *testing.T) {
+	l := PaperExample()
+	m := ExampleMachine()
+	for _, bad := range []Model{Model(-1), Model(NumModels), Model(99)} {
+		if _, err := Compile(l, m, bad, 0); err == nil || !strings.Contains(err.Error(), "invalid model") {
+			t.Fatalf("Compile(%d) err = %v, want invalid-model error", int(bad), err)
+		}
+		if err := Verify(l, m, bad, 0, 4); err == nil || !strings.Contains(err.Error(), "invalid model") {
+			t.Fatalf("Verify(%d) err = %v, want invalid-model error", int(bad), err)
+		}
+		if got := bad.String(); !strings.Contains(got, "Model(") {
+			t.Fatalf("String(%d) = %q", int(bad), got)
+		}
 	}
 }
 
