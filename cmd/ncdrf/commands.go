@@ -18,6 +18,7 @@ import (
 	"ncdrf/internal/regfile"
 	"ncdrf/internal/report"
 	"ncdrf/internal/sched"
+	"ncdrf/internal/store"
 	"ncdrf/internal/sweep"
 )
 
@@ -178,7 +179,11 @@ func cmdFigPerf(ctx context.Context, eng *sweep.Engine, args []string, wantPerf,
 func cmdAll(ctx context.Context, eng *sweep.Engine, args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	o := corpusFlags(fs)
+	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := attachCacheDir(eng, *cacheDir); err != nil {
 		return err
 	}
 	corpus := buildCorpus(o)
@@ -244,12 +249,29 @@ func cmdAll(ctx context.Context, eng *sweep.Engine, args []string) error {
 	}
 	fmt.Printf("functional verification: %d loop/model combinations executed on the simulated\n", n)
 	fmt.Printf("rotating register files, all bit-identical to the sequential reference\n")
-	fmt.Printf("\nschedule cache: %s\n", eng.Cache().Stats())
-	st := eng.Cache().StageStats()
-	fmt.Printf("stage base: %d requests, %d computed (one per loop x machine), %d served from cache\n",
-		st.Base.Requests(), st.Base.Misses, st.Base.Hits)
-	fmt.Printf("stage eval: %d requests, %d computed, %d served from cache\n",
-		st.Eval.Requests(), st.Eval.Misses, st.Eval.Hits)
+	// The trailer is rendered by StageStats.String — the one formatter
+	// for the cache counters — so `all`, `sweep -stats` and the stage
+	// tests cannot drift apart.
+	fmt.Printf("\n%s\n", eng.Cache().StageStats())
+	return nil
+}
+
+// cacheDirFlag attaches the shared -cache-dir option to a FlagSet.
+func cacheDirFlag(fs *flag.FlagSet) *string {
+	return fs.String("cache-dir", "", "persist stage artifacts under this directory; a rerun with the same corpus recomputes nothing")
+}
+
+// attachCacheDir opens the persistent artifact store rooted at dir (when
+// non-empty) and attaches it below the engine's in-memory caches.
+func attachCacheDir(eng *sweep.Engine, dir string) error {
+	if dir == "" {
+		return nil
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	eng.SetStore(st)
 	return nil
 }
 

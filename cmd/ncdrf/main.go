@@ -22,6 +22,9 @@
 //	ncdrf regfile                     register-file area/access-time models
 //
 // Corpus flags (table1/fig6..9/all): -loops N -seed S -kernels-only
+//
+// Persistent cache (all/sweep): -cache-dir DIR stores stage artifacts on
+// disk, so a rerun over the same corpus recomputes nothing.
 package main
 
 import (
@@ -113,9 +116,10 @@ commands:
   fig7       Figure 7: dynamic (cycle-weighted) cumulative distribution
   fig8       Figure 8: performance with 32/64 registers
   fig9       Figure 9: density of memory traffic
-  all        all of the above
+  all        all of the above (-cache-dir makes reruns incremental)
   sweep      arbitrary corpus x latency x model x register-size grid,
-             streamed as JSON lines (-lats, -models, -regs, -clusters)
+             streamed as JSON lines (-lats, -models, -regs, -clusters,
+             -cache-dir)
   schedule   modulo-schedule one kernel (-loop name, -lat 3|6)
   alloc      register requirements of one kernel under every model
   kernels    list the curated kernel corpus

@@ -201,6 +201,98 @@ func TestCmdSweepEmptyLists(t *testing.T) {
 	}
 }
 
+// TestCmdSweepLatsAreIntegers pins the -lats contract the help text
+// documents: latencies are whole cycles, so fractional values are
+// rejected up front instead of being silently mangled.
+func TestCmdSweepLatsAreIntegers(t *testing.T) {
+	for _, bad := range []string{"3.5", "3,6.0", "1e1"} {
+		if err := cmdSweep(ctx0, testEng(), []string{"-lats", bad}); err == nil {
+			t.Fatalf("fractional latency list %q must error", bad)
+		}
+	}
+	out := capture(t, func() error {
+		return cmdSweep(ctx0, testEng(), []string{
+			"-kernels-only", "-lats", "3", "-models", "ideal", "-regs", "0"})
+	})
+	if !strings.Contains(out, `"machine":"eval-L3"`) {
+		t.Fatalf("integer latency rejected:\n%s", out)
+	}
+}
+
+// TestCmdSweepStatsEntries checks the -stats object surfaces the
+// per-stage entry counts (Cache.Lens) and the per-stage tier counters.
+func TestCmdSweepStatsEntries(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdSweep(ctx0, testEng(), []string{
+			"-kernels-only", "-lats", "6", "-models", "unified", "-regs", "32", "-stats"})
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var st map[string]uint64
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &st); err != nil {
+		t.Fatalf("stats line is not JSON: %v", err)
+	}
+	for _, key := range []string{
+		"entries_schedule", "entries_base", "entries_eval",
+		"stage_eval_requests", "stage_eval_computed", "stage_base_memory_hits",
+	} {
+		if _, ok := st[key]; !ok {
+			t.Fatalf("stats object missing %q: %v", key, st)
+		}
+	}
+	if st["entries_schedule"] == 0 || st["entries_base"] == 0 || st["entries_eval"] == 0 {
+		t.Fatalf("degenerate entry counts: %v", st)
+	}
+	if st["stage_schedule_disk_hits"] != 0 {
+		t.Fatalf("disk hits without a store: %v", st)
+	}
+}
+
+// TestCmdAllCacheDirIncremental is the CLI acceptance scenario: a second
+// `ncdrf all -cache-dir` run over the same corpus reports 0 computed at
+// the schedule and eval stages and emits byte-identical tables/figures
+// (everything but the run-dependent stats trailer).
+func TestCmdAllCacheDirIncremental(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-kernels-only", "-cache-dir", dir}
+	first := capture(t, func() error { return cmdAll(ctx0, testEng(), args) })
+	second := capture(t, func() error { return cmdAll(ctx0, testEng(), args) })
+
+	stripTrailer := func(out string) (body string, trailer []string) {
+		for _, line := range strings.SplitAfter(out, "\n") {
+			if strings.HasPrefix(line, "stage ") {
+				trailer = append(trailer, strings.TrimSuffix(line, "\n"))
+			} else {
+				body += line
+			}
+		}
+		return body, trailer
+	}
+	body1, trailer1 := stripTrailer(first)
+	body2, trailer2 := stripTrailer(second)
+	if len(trailer1) != 3 || len(trailer2) != 3 {
+		t.Fatalf("trailer shape wrong:\n%v\n%v", trailer1, trailer2)
+	}
+	if body1 != body2 {
+		t.Fatalf("second run not byte-identical:\nfirst:\n%s\nsecond:\n%s", body1, body2)
+	}
+	for _, line := range trailer2 {
+		if strings.HasPrefix(line, "stage schedule:") || strings.HasPrefix(line, "stage eval:") {
+			if !strings.Contains(line, " 0 computed,") {
+				t.Fatalf("warm run recomputed: %q", line)
+			}
+			if strings.Contains(line, " 0 from disk") {
+				t.Fatalf("warm run not served from disk: %q", line)
+			}
+		}
+	}
+	// The cold run must already advertise the disk tier in its trailer.
+	for _, line := range trailer1 {
+		if !strings.Contains(line, "from disk") {
+			t.Fatalf("cold run trailer missing disk tier: %q", line)
+		}
+	}
+}
+
 func TestCmdSweepBadFlags(t *testing.T) {
 	if err := cmdSweep(ctx0, testEng(), []string{"-models", "bogus"}); err == nil {
 		t.Fatal("unknown model must error")

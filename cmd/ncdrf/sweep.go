@@ -24,12 +24,18 @@ import (
 func cmdSweep(ctx context.Context, eng *sweep.Engine, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	o := corpusFlags(fs)
-	lats := fs.String("lats", "3,6", "comma-separated floating-point latencies")
+	// Latencies are whole cycles: machine presets take integer latencies,
+	// and parseIntList enforces it (pinned by TestCmdSweepLatsAreIntegers).
+	lats := fs.String("lats", "3,6", "comma-separated latencies of the floating-point units, in whole cycles")
 	models := fs.String("models", "ideal,unified,partitioned,swapped", "comma-separated models")
 	regs := fs.String("regs", "32,64", "comma-separated register-file sizes (0 = unlimited)")
 	clusters := fs.Int("clusters", 2, "clusters per machine (2 = the paper's evaluation machine)")
 	stats := fs.Bool("stats", false, "append a cache-stats JSON object")
+	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := attachCacheDir(eng, *cacheDir); err != nil {
 		return err
 	}
 
@@ -113,12 +119,28 @@ func runSweep(ctx context.Context, eng *sweep.Engine, grid sweep.Grid, w io.Writ
 		return err
 	}
 	if stats {
-		s := eng.Cache().Stats()
-		return enc.Encode(map[string]uint64{
-			"cache_requests": s.Requests(),
-			"cache_hits":     s.Hits,
-			"cache_misses":   s.Misses,
-		})
+		// The legacy cache_* keys describe the schedule stage; the
+		// stage_* keys add the full per-stage picture (computed vs
+		// memory vs disk tier) and the retained entry counts.
+		st := eng.Cache().StageStats()
+		lens := eng.Cache().Lens()
+		obj := map[string]uint64{
+			"cache_requests": st.Schedule.Requests(),
+			"cache_hits":     st.Schedule.Hits,
+			"cache_misses":   st.Schedule.Misses,
+		}
+		for name, cs := range map[string]sweep.CacheStats{
+			"schedule": st.Schedule, "base": st.Base, "eval": st.Eval,
+		} {
+			obj["stage_"+name+"_requests"] = cs.Requests()
+			obj["stage_"+name+"_computed"] = cs.Misses
+			obj["stage_"+name+"_memory_hits"] = cs.Hits
+			obj["stage_"+name+"_disk_hits"] = cs.DiskHits
+		}
+		obj["entries_schedule"] = uint64(lens.Schedule)
+		obj["entries_base"] = uint64(lens.Base)
+		obj["entries_eval"] = uint64(lens.Eval)
+		return enc.Encode(obj)
 	}
 	return nil
 }

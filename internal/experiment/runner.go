@@ -47,7 +47,7 @@ type Requirements struct {
 // same sweep — so the whole result set is memoized on the engine and the
 // second figure (or a Table 1 config reusing the machine) pays nothing.
 func RegisterSweep(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, m *machine.Config) ([]Requirements, error) {
-	v, err := eng.Memo(eng.CorpusKey("register-sweep", corpus, m), func() (any, error) {
+	v, err := eng.Memo(ctx, eng.CorpusKey("register-sweep", corpus, m), func() (any, error) {
 		return registerSweep(ctx, eng, corpus, m)
 	})
 	if err != nil {
@@ -105,7 +105,7 @@ func ModelRuns(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, m *m
 		regs = 0
 	}
 	key := eng.CorpusKey(fmt.Sprintf("model-runs/%v/%d", model, regs), corpus, m)
-	v, err := eng.Memo(key, func() (any, error) {
+	v, err := eng.Memo(ctx, key, func() (any, error) {
 		return modelRuns(ctx, eng, corpus, m, model, regs)
 	})
 	if err != nil {

@@ -1,0 +1,181 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"ncdrf/internal/core"
+	"ncdrf/internal/ddg"
+	"ncdrf/internal/loops"
+	"ncdrf/internal/machine"
+	"ncdrf/internal/sched"
+)
+
+// canonical returns the graph's canonical text encoding, the content
+// identity the whole cache layer keys on.
+func canonical(t *testing.T, g *ddg.Graph) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := g.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestScheduleCodecRoundTrip pins the round-trip equivalence guarantee
+// for base schedules across the whole kernel corpus: decode(encode(s))
+// is content-identical to s on both machines of the paper.
+func TestScheduleCodecRoundTrip(t *testing.T) {
+	corpus := append(loops.Kernels(), loops.PaperExample())
+	for _, m := range []*machine.Config{machine.Eval(3), machine.Eval(6)} {
+		for _, g := range corpus {
+			b, err := NewBase(g, m, sched.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := EncodeSchedule(&buf, b.Sched); err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeSchedule(bytes.NewReader(buf.Bytes()), m)
+			if err != nil {
+				t.Fatalf("%s on %s: decode: %v", g.LoopName, m.Name(), err)
+			}
+			if got.II != b.Sched.II {
+				t.Fatalf("%s: II %d != %d", g.LoopName, got.II, b.Sched.II)
+			}
+			for id := range got.Start {
+				if got.Start[id] != b.Sched.Start[id] || got.FU[id] != b.Sched.FU[id] {
+					t.Fatalf("%s: node %d placement differs", g.LoopName, id)
+				}
+			}
+			if canonical(t, got.Graph) != canonical(t, b.Sched.Graph) {
+				t.Fatalf("%s: decoded graph content differs", g.LoopName)
+			}
+			if got.Graph == b.Sched.Graph {
+				t.Fatalf("%s: decoded schedule aliases the source graph", g.LoopName)
+			}
+		}
+	}
+}
+
+// TestModelResultCodecRoundTrip checks the per-model artifacts: every
+// kernel under every model, with a register budget small enough to force
+// spilling on part of the corpus, must decode to a result equivalent to
+// the in-memory one — same counters, same schedule, same canonical graph
+// (including spill-slot marks), and the same recomputed register
+// requirement.
+func TestModelResultCodecRoundTrip(t *testing.T) {
+	m := machine.Eval(6)
+	ctx := context.Background()
+	spilled := 0
+	for _, g := range loops.Kernels() {
+		b, err := NewBase(g, m, sched.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, model := range core.Models {
+			res, err := Evaluate(ctx, nil, b, model, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.SpilledValues > 0 {
+				spilled++
+			}
+			var buf bytes.Buffer
+			if err := EncodeModelResult(&buf, res); err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeModelResult(bytes.NewReader(buf.Bytes()), m)
+			if err != nil {
+				t.Fatalf("%s/%v: decode: %v", g.LoopName, model, err)
+			}
+			if got.Model != res.Model ||
+				got.SpilledValues != res.SpilledValues ||
+				got.SpillStores != res.SpillStores ||
+				got.SpillLoads != res.SpillLoads ||
+				got.IIBumps != res.IIBumps ||
+				got.Iterations != res.Iterations {
+				t.Fatalf("%s/%v: counters differ: %+v vs %+v", g.LoopName, model, got, res)
+			}
+			if got.Sched.II != res.Sched.II || got.MemOps() != res.MemOps() {
+				t.Fatalf("%s/%v: schedule shape differs", g.LoopName, model)
+			}
+			if canonical(t, got.Graph) != canonical(t, res.Graph) {
+				t.Fatalf("%s/%v: decoded graph content differs", g.LoopName, model)
+			}
+			// Spill-slot marks are not part of the canonical text
+			// encoding, so pin them explicitly: the vm and codegen
+			// layers depend on them.
+			for id := 0; id < res.Graph.NumNodes(); id++ {
+				if got.Graph.Node(id).SpillSlot != res.Graph.Node(id).SpillSlot {
+					t.Fatalf("%s/%v: node %d spill slot differs", g.LoopName, model, id)
+				}
+			}
+			wantReq, _, err1 := res.Requirement()
+			gotReq, _, err2 := got.Requirement()
+			if err1 != nil || err2 != nil || wantReq != gotReq {
+				t.Fatalf("%s/%v: requirement %d,%v != %d,%v", g.LoopName, model, gotReq, err2, wantReq, err1)
+			}
+			if len(got.Lifetimes) != len(res.Lifetimes) {
+				t.Fatalf("%s/%v: lifetime count differs", g.LoopName, model)
+			}
+			for i := range got.Lifetimes {
+				if got.Lifetimes[i] != res.Lifetimes[i] {
+					t.Fatalf("%s/%v: lifetime %d differs", g.LoopName, model, i)
+				}
+			}
+		}
+	}
+	if spilled == 0 {
+		t.Fatal("test corpus exercised no spilling result; tighten the register budget")
+	}
+}
+
+// TestCodecRejectsDamage checks that damaged artifacts decode to errors,
+// never to panics or plausible results: truncation at every line, field
+// corruption, and machine mismatch.
+func TestCodecRejectsDamage(t *testing.T) {
+	m := machine.Eval(3)
+	g, ok := loops.KernelByName("daxpy")
+	if !ok {
+		t.Fatal("missing kernel")
+	}
+	b, err := NewBase(g, m, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(context.Background(), nil, b, core.Unified, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeModelResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	art := buf.String()
+
+	// Truncation after every line must error, not panic.
+	lines := strings.SplitAfter(art, "\n")
+	for i := 0; i < len(lines)-1; i++ {
+		prefix := strings.Join(lines[:i], "")
+		if _, err := DecodeModelResult(strings.NewReader(prefix), m); err == nil {
+			t.Fatalf("truncation after %d lines decoded successfully", i)
+		}
+	}
+	// Wrong machine: the artifact records eval-L3.
+	if _, err := DecodeModelResult(strings.NewReader(art), machine.Eval(6)); err == nil {
+		t.Fatal("machine mismatch not detected")
+	}
+	// Corrupt an issue cycle: the decoded schedule must fail verification.
+	broken := strings.Replace(art, "\nop ", "\nop 9999", 1)
+	if _, err := DecodeModelResult(strings.NewReader(broken), m); err == nil {
+		t.Fatal("corrupted placement not detected")
+	}
+	// Unknown directive in place of the model line.
+	if _, err := DecodeModelResult(strings.NewReader("bogus x\n"+art), m); err == nil {
+		t.Fatal("leading garbage not detected")
+	}
+}

@@ -14,6 +14,14 @@ import (
 	"ncdrf/internal/machine"
 )
 
+// AlgorithmVersion identifies the scheduler's observable behavior for
+// persistent caching (internal/store keys carry it): any change that can
+// alter the schedules produced — priority functions, eviction budgets,
+// II search order, tie-breaking — must bump it, so artifacts computed by
+// an older binary are not mistaken for the current algorithm's output.
+// Pure refactors and error-message changes do not require a bump.
+const AlgorithmVersion = 1
+
 // Schedule is a modulo schedule of a loop: an initiation interval, an
 // issue cycle for every operation (in the flat, iteration-0 time frame)
 // and a functional-unit binding that also determines each operation's

@@ -1,0 +1,230 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openT(t)
+	payload := []byte("machine eval-L3\nloop daxpy 100\n")
+	if err := s.Put("sched", "00ff", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("sched", "00ff")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip failed: %q %v", got, ok)
+	}
+	// Stage namespaces are separate.
+	if _, ok := s.Get("eval", "00ff"); ok {
+		t.Fatal("artifact leaked across stages")
+	}
+	// Overwrite wins.
+	if err := s.Put("sched", "00ff", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("sched", "00ff"); !ok || string(got) != "v2" {
+		t.Fatalf("overwrite lost: %q %v", got, ok)
+	}
+	st := s.Stats()
+	if st.Writes != 2 || st.Hits != 2 || st.Misses != 1 || st.Faults != 0 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+	// Empty payloads are legal artifacts (none exist today, but the
+	// container must not confuse empty with missing).
+	if err := s.Put("sched", "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("sched", "empty"); !ok || len(got) != 0 {
+		t.Fatalf("empty payload mishandled: %q %v", got, ok)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty dir must error")
+	}
+}
+
+func TestVersionIsolation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("sched", "k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// A future format version must not see v1 artifacts: its version
+	// directory is disjoint by construction.
+	future := filepath.Join(dir, fmt.Sprintf("v%d", FormatVersion+1))
+	if _, err := os.Stat(future); !os.IsNotExist(err) {
+		t.Fatalf("future version dir unexpectedly exists: %v", err)
+	}
+	if !strings.HasSuffix(s.Dir(), fmt.Sprintf("v%d", FormatVersion)) {
+		t.Fatalf("store rooted at %q, want a v%d directory", s.Dir(), FormatVersion)
+	}
+}
+
+// TestDamageReadsAsMiss covers the recovery contract: truncated,
+// corrupted, version-mismatched and header-less files read as misses
+// (with a fault counted), never as payloads and never as crashes.
+func TestDamageReadsAsMiss(t *testing.T) {
+	payload := []byte("some artifact payload, long enough to truncate meaningfully\n")
+	damage := map[string]func(path string) error{
+		"truncated": func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, data[:len(data)/2], 0o644)
+		},
+		"corrupted-payload": func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			data[len(data)-2] ^= 0xff
+			return os.WriteFile(p, data, 0o644)
+		},
+		"version-mismatch": func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			bad := bytes.Replace(data, []byte(fmt.Sprintf("%s v%d ", magic, FormatVersion)),
+				[]byte(fmt.Sprintf("%s v%d ", magic, FormatVersion+1)), 1)
+			return os.WriteFile(p, bad, 0o644)
+		},
+		"stage-mismatch": func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			bad := bytes.Replace(data, []byte(" sched "), []byte(" eval "), 1)
+			return os.WriteFile(p, bad, 0o644)
+		},
+		"no-header": func(p string) error {
+			return os.WriteFile(p, []byte("not an artifact at all"), 0o644)
+		},
+		"empty-file": func(p string) error {
+			return os.WriteFile(p, nil, 0o644)
+		},
+	}
+	for name, hurt := range damage {
+		t.Run(name, func(t *testing.T) {
+			s := openT(t)
+			if err := s.Put("sched", "victim", payload); err != nil {
+				t.Fatal(err)
+			}
+			if err := hurt(filepath.Join(s.Dir(), "sched", "victim")); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get("sched", "victim"); ok {
+				t.Fatalf("damaged artifact served: %q", got)
+			}
+			if st := s.Stats(); st.Faults != 1 {
+				t.Fatalf("damage not counted as fault: %+v", st)
+			}
+			// The slot is recoverable: a rewrite serves again.
+			if err := s.Put("sched", "victim", payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get("sched", "victim"); !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("rewrite after damage failed: %q %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestOpenSweepsStaleTemps checks that Open reclaims temp files left by
+// interrupted writers, while sparing recent ones (a live writer in
+// another process) and real artifacts.
+func TestOpenSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("sched", "keep", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	stageDir := filepath.Join(s.Dir(), "sched")
+	stale := filepath.Join(stageDir, ".tmp-dead-123")
+	fresh := filepath.Join(stageDir, ".tmp-live-456")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tempMaxAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp survived reopen: %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp reclaimed too eagerly: %v", err)
+	}
+	if got, ok := s2.Get("sched", "keep"); !ok || string(got) != "payload" {
+		t.Fatalf("artifact lost in sweep: %q %v", got, ok)
+	}
+}
+
+// TestConcurrentPutGet hammers one store from many goroutines (run under
+// -race in CI): concurrent writers of the same key and readers racing
+// them must only ever observe complete payloads.
+func TestConcurrentPutGet(t *testing.T) {
+	s := openT(t)
+	payload := bytes.Repeat([]byte("deterministic artifact content\n"), 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := s.Put("eval", "shared", payload); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := s.Get("eval", "shared"); ok && !bytes.Equal(got, payload) {
+					t.Errorf("torn read: %d bytes", len(got))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, ok := s.Get("eval", "shared"); !ok || !bytes.Equal(got, payload) {
+		t.Fatal("final read failed")
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Join(s.Dir(), "eval"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want 1", len(entries))
+	}
+}

@@ -3,6 +3,7 @@ package sweep
 import (
 	"bytes"
 	"context"
+	"errors"
 	"sync"
 	"testing"
 
@@ -211,6 +212,81 @@ func TestEngineCompileAllStageSharing(t *testing.T) {
 		if again[model] != first[model] {
 			t.Fatalf("%v: repeat CompileAll returned a different artifact", model)
 		}
+	}
+}
+
+// TestCacheLensPerStage pins the per-stage entry accounting: Len used to
+// count only schedule entries, silently ignoring bases and evals.
+func TestCacheLensPerStage(t *testing.T) {
+	eng := New(1)
+	g := loops.Kernels()[0]
+	if _, err := eng.CompileAll(context.Background(), g, machine.Eval(6), 64); err != nil {
+		t.Fatal(err)
+	}
+	lens := eng.Cache().Lens()
+	if lens.Base != 1 {
+		t.Fatalf("base entries = %d, want 1", lens.Base)
+	}
+	if lens.Eval != len(core.Models) {
+		t.Fatalf("eval entries = %d, want %d", lens.Eval, len(core.Models))
+	}
+	if lens.Schedule < 1 {
+		t.Fatalf("schedule entries = %d, want >= 1", lens.Schedule)
+	}
+	if got := eng.Cache().Len(); got != lens.Schedule+lens.Base+lens.Eval {
+		t.Fatalf("Len() = %d, want the sum of all stages %+v", got, lens)
+	}
+}
+
+// TestFlightWaiterRetriesDroppedFailure exercises the generic core
+// directly: a waiter that observes a dropped (non-retained) failure
+// recomputes with its own live context, while retained failures are
+// shared as hits.
+func TestFlightWaiterRetriesDroppedFailure(t *testing.T) {
+	f := newFlight[string, int](func(err error) bool { return err != context.Canceled })
+
+	// Retained failure: second caller shares the error as a hit.
+	wantErr := errors.New("deterministic")
+	if _, err := f.do(context.Background(), "det", func() (int, error) { return 0, wantErr }); err != wantErr {
+		t.Fatalf("first call: %v", err)
+	}
+	calls := 0
+	if _, err := f.do(context.Background(), "det", func() (int, error) { calls++; return 1, nil }); err != wantErr {
+		t.Fatalf("retained error not shared: %v", err)
+	}
+	if calls != 0 || f.hits.Load() != 1 || f.misses.Load() != 1 {
+		t.Fatalf("retained failure recomputed: calls=%d hits=%d misses=%d", calls, f.hits.Load(), f.misses.Load())
+	}
+
+	// Dropped failure: a concurrent waiter retries and succeeds.
+	computing := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _ = f.do(context.Background(), "ctx", func() (int, error) {
+			close(computing)
+			<-release
+			return 0, context.Canceled
+		})
+	}()
+	<-computing
+	done := make(chan struct{})
+	var got int
+	var gotErr error
+	go func() {
+		defer close(done)
+		got, gotErr = f.do(context.Background(), "ctx", func() (int, error) { return 42, nil })
+	}()
+	close(release)
+	<-done
+	if gotErr != nil || got != 42 {
+		t.Fatalf("waiter did not retry after dropped failure: %d, %v", got, gotErr)
+	}
+	// A waiter whose own context is dead propagates its cancellation
+	// instead of recomputing.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.do(cancelled, "fresh", func() (int, error) { return 0, nil }); err != context.Canceled {
+		t.Fatalf("dead context not honoured: %v", err)
 	}
 }
 

@@ -1,0 +1,120 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// flight is the one single-flight cache implementation shared by every
+// stage of the engine (schedule, base, eval, and the whole-result-set
+// memo). It guarantees that a value is computed at most once per key
+// while the computation succeeds, shares in-flight computations between
+// concurrent callers, and counts hits and misses uniformly.
+//
+// Error retention is the only axis on which the stages differ, so it is
+// the one policy knob: retain decides whether a failed computation stays
+// in the cache (deterministic failures — retrying an unschedulable
+// problem cannot succeed) or is dropped so the next caller recomputes
+// (caller-dependent failures, e.g. context cancellation). A nil retain
+// retains every error.
+//
+// Cancellation semantics: ctx is consulted before starting a computation
+// and while waiting on another caller's in-flight one; a computation once
+// started always runs to completion and is never abandoned by its waiters
+// observing cancellation elsewhere. A waiter that observes a dropped
+// (non-retained) failure retries while its own context is live, so one
+// cancelled caller cannot poison a concurrent one.
+type flight[K comparable, V any] struct {
+	// retain reports whether a computation error should stay cached.
+	// nil retains all errors.
+	retain func(error) bool
+
+	mu    sync.Mutex
+	slots map[K]*slot[V]
+
+	// hits counts calls served by another caller's computation (shared
+	// results and retained errors alike); misses counts computations
+	// actually started. hits+misses is the number of observed requests,
+	// except for calls that return early on their own cancelled context.
+	hits, misses atomic.Uint64
+}
+
+// slot is one single-flight entry: the first requester computes, later
+// requesters block on ready and share the outcome.
+type slot[V any] struct {
+	ready chan struct{}
+	val   V
+	err   error
+}
+
+// newFlight returns an empty flight with the given retention policy.
+func newFlight[K comparable, V any](retain func(error) bool) *flight[K, V] {
+	return &flight[K, V]{retain: retain, slots: map[K]*slot[V]{}}
+}
+
+// do returns the value for key, computing it with compute at most once
+// concurrently and — while compute succeeds or fails deterministically —
+// at most once ever. Callers that must never abandon a wait pass
+// context.Background().
+func (f *flight[K, V]) do(ctx context.Context, key K, compute func() (V, error)) (V, error) {
+	var zero V
+	for {
+		f.mu.Lock()
+		s, ok := f.slots[key]
+		if !ok {
+			break // this caller computes; f.mu still held
+		}
+		f.mu.Unlock()
+		// Wait for the in-flight computation, but honour our own
+		// context: a waiter must not be pinned to another caller's long
+		// computation after its own work is cancelled.
+		select {
+		case <-s.ready:
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+		if s.err == nil {
+			f.hits.Add(1)
+			return s.val, nil
+		}
+		// The computation failed. A retained slot means the failure is
+		// deterministic — share it. A dropped slot means it was
+		// caller-dependent (e.g. the computing caller's cancellation):
+		// retry with our own context if it is still live.
+		f.mu.Lock()
+		retained := f.slots[key] == s
+		f.mu.Unlock()
+		if retained {
+			f.hits.Add(1)
+			return zero, s.err
+		}
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		f.mu.Unlock()
+		return zero, err
+	}
+	s := &slot[V]{ready: make(chan struct{})}
+	f.slots[key] = s
+	f.mu.Unlock()
+	f.misses.Add(1)
+
+	s.val, s.err = compute()
+	if s.err != nil && f.retain != nil && !f.retain(s.err) {
+		f.mu.Lock()
+		delete(f.slots, key)
+		f.mu.Unlock()
+	}
+	close(s.ready)
+	return s.val, s.err
+}
+
+// len returns the number of retained entries.
+func (f *flight[K, V]) len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.slots)
+}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"ncdrf/internal/core"
@@ -116,7 +117,7 @@ func TestEngineMemo(t *testing.T) {
 	eng := New(2)
 	calls := 0
 	for i := 0; i < 3; i++ {
-		v, err := eng.Memo("k", func() (any, error) { calls++; return 42, nil })
+		v, err := eng.Memo(context.Background(), "k", func() (any, error) { calls++; return 42, nil })
 		if err != nil || v.(int) != 42 {
 			t.Fatalf("memo = %v, %v", v, err)
 		}
@@ -124,10 +125,10 @@ func TestEngineMemo(t *testing.T) {
 	if calls != 1 {
 		t.Fatalf("computed %d times", calls)
 	}
-	// Failures are not retained.
+	// Cancellation failures are not retained: later callers recompute.
 	fail := true
 	for i := 0; i < 2; i++ {
-		v, err := eng.Memo("f", func() (any, error) {
+		v, err := eng.Memo(context.Background(), "f", func() (any, error) {
 			if fail {
 				fail = false
 				return nil, context.Canceled
@@ -140,6 +141,17 @@ func TestEngineMemo(t *testing.T) {
 		if i == 1 && (err != nil || v.(string) != "ok") {
 			t.Fatalf("retry after failure = %v, %v", v, err)
 		}
+	}
+	// Deterministic failures ARE retained and shared — re-running a
+	// corpus-sized result set to reproduce the identical error would
+	// waste the whole computation (same policy as the eval stage).
+	detErr := errors.New("spill did not converge")
+	if _, err := eng.Memo(context.Background(), "det", func() (any, error) { return nil, detErr }); err != detErr {
+		t.Fatalf("first deterministic failure = %v", err)
+	}
+	recomputed := false
+	if _, err := eng.Memo(context.Background(), "det", func() (any, error) { recomputed = true; return "x", nil }); err != detErr || recomputed {
+		t.Fatalf("deterministic failure not retained: err=%v recomputed=%v", err, recomputed)
 	}
 
 	// CorpusKey distinguishes machines and corpora but not slice identity.

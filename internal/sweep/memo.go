@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 
@@ -8,44 +9,21 @@ import (
 	"ncdrf/internal/machine"
 )
 
-// memoEntry is a single-flight slot for a whole result set.
-type memoEntry struct {
-	ready chan struct{}
-	val   any
-	err   error
-}
-
 // Memo returns the value for key, computing it with fn at most once per
 // engine while it succeeds. It is how runners share entire result sets —
 // e.g. Figures 6 and 7 consume the same register sweep, so the second
 // figure's sweep is a single map lookup. Concurrent callers of the same
 // key block until the first computation finishes and share its result.
 //
-// Unlike the schedule cache, failed computations are NOT retained: fn may
-// fail for caller-dependent reasons (context cancellation), so the next
-// caller recomputes. Waiters that observed the failure receive the error.
-func (e *Engine) Memo(key string, fn func() (any, error)) (any, error) {
-	e.memoMu.Lock()
-	if e.memos == nil {
-		e.memos = map[string]*memoEntry{}
-	}
-	if en, ok := e.memos[key]; ok {
-		e.memoMu.Unlock()
-		<-en.ready
-		return en.val, en.err
-	}
-	en := &memoEntry{ready: make(chan struct{})}
-	e.memos[key] = en
-	e.memoMu.Unlock()
-
-	en.val, en.err = fn()
-	if en.err != nil {
-		e.memoMu.Lock()
-		delete(e.memos, key)
-		e.memoMu.Unlock()
-	}
-	close(en.ready)
-	return en.val, en.err
+// Memo runs on the same single-flight core as the stage caches, with
+// the eval stage's retention policy: deterministic failures are retained
+// and shared (re-running a whole result set to hit the identical error
+// would waste a corpus-sized computation per waiter), while
+// caller-dependent context-cancellation failures are dropped — a waiter
+// that observes one retries while its own context is live, and later
+// callers recompute.
+func (e *Engine) Memo(ctx context.Context, key string, fn func() (any, error)) (any, error) {
+	return e.memos.do(ctx, key, fn)
 }
 
 // CorpusKey derives a stable Memo key for a computation over (corpus,

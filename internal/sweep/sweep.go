@@ -30,19 +30,34 @@
 //
 // Hit/miss counters are exported through Cache.Stats for benchmarking:
 // Misses is the number of schedules actually computed, Hits the number of
-// sched.Run calls the cache absorbed.
+// sched.Run calls the in-memory tier absorbed, DiskHits the number served
+// by the optional persistent tier.
+//
+// # Tiers
+//
+// Every stage cache is a stack of (up to) two tiers sharing the key
+// scheme above:
+//
+//	flight  — one generic in-memory single-flight implementation per
+//	          stage (see flight.go), parameterized only on error
+//	          retention; shares in-flight work within the process.
+//	store   — an optional content-addressed on-disk artifact store
+//	          (internal/store, attached with Engine.SetStore): a flight
+//	          miss reads through it before computing, and computed
+//	          schedule/eval artifacts are written behind it, making a
+//	          second process's run incremental.
 package sweep
 
 import (
 	"context"
 	"runtime"
-	"sync"
 
 	"ncdrf/internal/core"
 	"ncdrf/internal/ddg"
 	"ncdrf/internal/machine"
 	"ncdrf/internal/pipeline"
 	"ncdrf/internal/sched"
+	"ncdrf/internal/store"
 )
 
 // Engine bundles the schedule cache with a worker-pool width. The zero
@@ -53,8 +68,8 @@ type Engine struct {
 	cache   *Cache
 	workers int
 
-	memoMu sync.Mutex
-	memos  map[string]*memoEntry
+	// memos shares whole result sets between runners; see Memo.
+	memos *flight[string, any]
 }
 
 // New returns an engine with the given worker-pool width; workers <= 0
@@ -63,8 +78,21 @@ func New(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{cache: NewCache(), workers: workers}
+	return &Engine{
+		cache:   NewCache(),
+		workers: workers,
+		memos:   newFlight[string, any](retainDeterministic),
+	}
 }
+
+// SetStore attaches a persistent artifact store as the tier below the
+// in-memory caches, making runs incremental across processes: schedule
+// and eval artifacts are read through and written behind the memory
+// tier. Attach before the engine serves its first request.
+func (e *Engine) SetStore(st *store.Store) { e.cache.SetStore(st) }
+
+// Store returns the attached persistent tier, or nil.
+func (e *Engine) Store() *store.Store { return e.cache.Store() }
 
 // Workers returns the pool width used by ForEach and Sweep.
 func (e *Engine) Workers() int { return e.workers }
