@@ -14,6 +14,8 @@
 //	ncdrf fig9 [flags]                Figure 9 (memory traffic density)
 //	ncdrf all [flags]                 every table and figure
 //	ncdrf sweep [flags]               arbitrary evaluation grid, JSON output
+//	ncdrf merge s1 s2 ...             merge 'sweep -shard' outputs into one stream
+//	ncdrf cache -dir <dir> [flags]    inspect/GC a -cache-dir artifact directory
 //	ncdrf schedule -loop <name>       schedule one kernel and print it
 //	ncdrf alloc -loop <name>          allocate one kernel under all models
 //	ncdrf kernels                     list curated kernels
@@ -71,6 +73,10 @@ func main() {
 		err = cmdAll(ctx, eng, args)
 	case "sweep":
 		err = cmdSweep(ctx, eng, args)
+	case "merge":
+		err = cmdMerge(args)
+	case "cache":
+		err = cmdCache(args)
 	case "schedule":
 		err = cmdSchedule(args)
 	case "alloc":
@@ -118,8 +124,13 @@ commands:
   fig9       Figure 9: density of memory traffic
   all        all of the above (-cache-dir makes reruns incremental)
   sweep      arbitrary corpus x latency x model x register-size grid,
-             streamed as JSON lines (-lats, -models, -regs, -clusters,
-             -cache-dir)
+             streamed as JSON lines in plan order (-lats, -models, -regs,
+             -clusters, -cache-dir; -shard i/n -o file runs one slice of
+             the grid for 'ncdrf merge')
+  merge      splice 'sweep -shard' output files back into the byte-
+             identical unsharded stream
+  cache      inspect or garbage-collect a -cache-dir artifact directory
+             (-dir, -gc, -max-age, -dry-run)
   schedule   modulo-schedule one kernel (-loop name, -lat 3|6)
   alloc      register requirements of one kernel under every model
   kernels    list the curated kernel corpus

@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"ncdrf/internal/store"
 	"ncdrf/internal/sweep"
 )
 
@@ -315,5 +318,208 @@ func TestFindLoopErrors(t *testing.T) {
 func TestCmdVerifyUnknownModel(t *testing.T) {
 	if err := cmdVerify([]string{"-model", "bogus"}); err == nil {
 		t.Fatal("unknown model must error")
+	}
+}
+
+// TestCmdSweepShardMerge is the CLI acceptance scenario of the shard
+// workflow: three `sweep -shard i/3 -o file` runs merge into the
+// byte-identical stream of the unsharded run, in any argument order.
+func TestCmdSweepShardMerge(t *testing.T) {
+	args := []string{"-kernels-only", "-lats", "6", "-models", "unified,swapped", "-regs", "24,48"}
+	single := capture(t, func() error { return cmdSweep(ctx0, testEng(), args) })
+
+	dir := t.TempDir()
+	var files []string
+	for i := 1; i <= 3; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("s%d.ndjson", i))
+		files = append(files, p)
+		shardArgs := append(append([]string{}, args...),
+			"-shard", fmt.Sprintf("%d/3", i), "-o", p)
+		if out := capture(t, func() error { return cmdSweep(ctx0, testEng(), shardArgs) }); out != "" {
+			t.Fatalf("sharded sweep with -o wrote to stdout: %q", out)
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), `{"ncdrf_shard":`) {
+			t.Fatalf("shard file %d missing header: %.60q", i, data)
+		}
+	}
+	merged := capture(t, func() error { return cmdMerge([]string{files[2], files[0], files[1]}) })
+	if merged != single {
+		t.Fatalf("merged stream differs from unsharded run:\nmerged:\n%s\nsingle:\n%s", merged, single)
+	}
+	// -o on merge writes the same bytes to a file.
+	out := filepath.Join(dir, "merged.ndjson")
+	capture(t, func() error { return cmdMerge([]string{"-o", out, files[0], files[1], files[2]}) })
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != single {
+		t.Fatal("merge -o differs from merge to stdout")
+	}
+}
+
+// TestCmdSweepShardStatsToStdout checks that with -o the stats object
+// goes to stdout, keeping the shard file exactly header + rows.
+func TestCmdSweepShardStatsToStdout(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "s.ndjson")
+	out := capture(t, func() error {
+		return cmdSweep(ctx0, testEng(), []string{
+			"-kernels-only", "-lats", "3", "-models", "ideal", "-regs", "0",
+			"-shard", "1/2", "-o", p, "-stats"})
+	})
+	var st map[string]uint64
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &st); err != nil {
+		t.Fatalf("stdout is not the stats object: %v\n%s", err, out)
+	}
+	if _, ok := st["stage_eval_requests"]; !ok {
+		t.Fatalf("stats object incomplete: %v", st)
+	}
+	if strings.Contains(readFileT(t, p), "stage_eval_requests") {
+		t.Fatal("stats leaked into the shard file")
+	}
+}
+
+func readFileT(t *testing.T, p string) string {
+	t.Helper()
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestCmdSweepBadShardSpecs checks -shard validation up front.
+func TestCmdSweepBadShardSpecs(t *testing.T) {
+	for _, bad := range []string{"0/3", "4/3", "x", "1-3", "1/x", "/3", "1/"} {
+		err := cmdSweep(ctx0, testEng(), []string{"-kernels-only", "-shard", bad})
+		if err == nil {
+			t.Fatalf("-shard %q accepted", bad)
+		}
+	}
+}
+
+// TestCmdMergeErrors covers the CLI-level refusal paths.
+func TestCmdMergeErrors(t *testing.T) {
+	if err := cmdMerge(nil); err == nil {
+		t.Fatal("merge with no files must error")
+	}
+	if err := cmdMerge([]string{filepath.Join(t.TempDir(), "missing.ndjson")}); err == nil {
+		t.Fatal("merge of missing file must error")
+	}
+	p := filepath.Join(t.TempDir(), "rows.ndjson")
+	if err := os.WriteFile(p, []byte(`{"loop":"a","machine":"m","model":"ideal","regs":0}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMerge([]string{p}); err == nil || !strings.Contains(err.Error(), "header") {
+		t.Fatalf("headerless stream accepted: %v", err)
+	}
+}
+
+// TestCmdCacheInspectAndGC drives `ncdrf cache` over a real artifact
+// directory: inspect reports the stages, GC removes a planted damaged
+// file and a stale version directory, and the live entries keep serving
+// (the warm rerun still produces the byte-identical stream).
+func TestCmdCacheInspectAndGC(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-kernels-only", "-lats", "6", "-models", "unified", "-regs", "32", "-cache-dir", dir}
+	first := capture(t, func() error { return cmdSweep(ctx0, testEng(), args) })
+
+	// Plant damage: one corrupted artifact and one stale version dir.
+	vdir := filepath.Join(dir, fmt.Sprintf("v%d", store.FormatVersion))
+	scheds, err := os.ReadDir(filepath.Join(vdir, "sched"))
+	if err != nil || len(scheds) == 0 {
+		t.Fatalf("no sched artifacts: %v", err)
+	}
+	victim := filepath.Join(vdir, "sched", scheds[0].Name())
+	if err := os.WriteFile(victim, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	staleDir := filepath.Join(dir, fmt.Sprintf("v%d", store.FormatVersion+9), "sched")
+	if err := os.MkdirAll(staleDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(staleDir, "old"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	inspect := capture(t, func() error { return cmdCache([]string{"-dir", dir}) })
+	for _, want := range []string{"sched", "eval", "stale version"} {
+		if !strings.Contains(inspect, want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, inspect)
+		}
+	}
+	gcOut := capture(t, func() error { return cmdCache([]string{"-dir", dir, "-gc"}) })
+	if !strings.Contains(gcOut, "1 stale-version, 1 damaged") {
+		t.Fatalf("gc did not remove the planted files:\n%s", gcOut)
+	}
+	if _, err := os.Stat(staleDir); !os.IsNotExist(err) {
+		t.Fatalf("stale version dir survived gc: %v", err)
+	}
+
+	second := capture(t, func() error { return cmdSweep(ctx0, testEng(), args) })
+	if second != first {
+		t.Fatalf("warm rerun after gc differs:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+
+	if err := cmdCache(nil); err == nil {
+		t.Fatal("cache without -dir must error")
+	}
+	if err := cmdCache([]string{"-dir", filepath.Join(dir, "no-such")}); err == nil {
+		t.Fatal("cache of missing dir must error")
+	}
+}
+
+// TestCmdCacheGCModifiersRequireGC pins that -max-age/-dry-run without
+// -gc are refused instead of silently inspecting.
+func TestCmdCacheGCModifiersRequireGC(t *testing.T) {
+	dir := t.TempDir()
+	for _, args := range [][]string{
+		{"-dir", dir, "-max-age", "24h"},
+		{"-dir", dir, "-dry-run"},
+	} {
+		if err := cmdCache(args); err == nil || !strings.Contains(err.Error(), "require -gc") {
+			t.Fatalf("cache %v accepted without -gc: %v", args, err)
+		}
+	}
+}
+
+// TestCmdSweepOutputAtomic pins the -o write discipline: an interrupted
+// (cancelled) rerun must leave a previously complete output file
+// untouched — the new stream only replaces it on success, and no temp
+// litter survives the failure.
+func TestCmdSweepOutputAtomic(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "s.ndjson")
+	if err := os.WriteFile(p, []byte("precious complete shard\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(ctx0)
+	cancel()
+	err := cmdSweep(ctx, testEng(), []string{"-kernels-only", "-shard", "1/2", "-o", p})
+	if err == nil {
+		t.Fatal("cancelled sweep must error")
+	}
+	if got := readFileT(t, p); got != "precious complete shard\n" {
+		t.Fatalf("interrupted run clobbered the output file: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp litter left behind: %d entries", len(entries))
+	}
+	// A successful rerun replaces the file with the real stream.
+	if out := capture(t, func() error {
+		return cmdSweep(ctx0, testEng(), []string{"-kernels-only", "-shard", "1/2", "-o", p})
+	}); out != "" {
+		t.Fatalf("unexpected stdout: %q", out)
+	}
+	if !strings.HasPrefix(readFileT(t, p), `{"ncdrf_shard":`) {
+		t.Fatal("successful rerun did not install the new stream")
 	}
 }

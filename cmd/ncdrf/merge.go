@@ -1,0 +1,50 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ncdrf/internal/sweep"
+)
+
+// cmdMerge splices the output files of `sweep -shard i/n -o file` back
+// into the single-run stream: it validates that the files form one
+// complete shard set of one grid (any argument order), then emits the
+// rows in plan order — byte-identical to what the unsharded `ncdrf
+// sweep` would have printed.
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	outPath := fs.String("o", "", "write the merged stream to this file instead of stdout")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ncdrf merge [-o out.ndjson] shard1.ndjson shard2.ndjson ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("no shard files given (run 'ncdrf sweep -shard i/n -o file' to produce them)")
+	}
+	var shards []sweep.ShardFile
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		sf, err := sweep.ReadShardFile(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		shards = append(shards, sf)
+	}
+	if *outPath != "" {
+		return writeFileAtomic(*outPath, func(w io.Writer) error {
+			return sweep.MergeShards(w, shards)
+		})
+	}
+	return sweep.MergeShards(os.Stdout, shards)
+}

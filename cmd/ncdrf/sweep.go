@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -17,10 +18,14 @@ import (
 )
 
 // cmdSweep runs an arbitrary (corpus x latency x model x register-size)
-// grid on the sweep engine and streams one JSON object per work unit to
-// stdout, making the tool usable for workloads beyond the paper's fixed
-// figures (e.g. `-regs 8,16,24,...,128 -models swapped` for a register
-// sensitivity curve, or `-clusters 4` for a wider machine).
+// grid on the sweep engine and streams one JSON object per work unit in
+// plan order, making the tool usable for workloads beyond the paper's
+// fixed figures (e.g. `-regs 8,16,24,...,128 -models swapped` for a
+// register sensitivity curve, or `-clusters 4` for a wider machine).
+// With -shard i/n it runs one contiguous slice of the grid and prefixes
+// the stream with a shard header, so n processes — ideally sharing one
+// -cache-dir — can split the grid and `ncdrf merge` can reassemble the
+// byte-identical unsharded stream.
 func cmdSweep(ctx context.Context, eng *sweep.Engine, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	o := corpusFlags(fs)
@@ -30,7 +35,9 @@ func cmdSweep(ctx context.Context, eng *sweep.Engine, args []string) error {
 	models := fs.String("models", "ideal,unified,partitioned,swapped", "comma-separated models")
 	regs := fs.String("regs", "32,64", "comma-separated register-file sizes (0 = unlimited)")
 	clusters := fs.Int("clusters", 2, "clusters per machine (2 = the paper's evaluation machine)")
-	stats := fs.Bool("stats", false, "append a cache-stats JSON object")
+	stats := fs.Bool("stats", false, "append a cache-stats JSON object (with -o, printed to stdout instead)")
+	shardSpec := fs.String("shard", "", "run only shard I of N of the grid, as I/N (e.g. 2/3); prefixes the output with a header for 'ncdrf merge'")
+	outPath := fs.String("o", "", "write the result stream to this file instead of stdout")
 	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,22 +95,94 @@ func cmdSweep(ctx context.Context, eng *sweep.Engine, args []string) error {
 		Models:   modelList,
 		Regs:     regList,
 	}
-	if err := runSweep(ctx, eng, grid, os.Stdout, *stats); err != nil {
+
+	units := grid.Plan()
+	var header *sweep.ShardHeader
+	if *shardSpec != "" {
+		i, n, err := parseShardSpec(*shardSpec)
+		if err != nil {
+			return fmt.Errorf("-shard: %w", err)
+		}
+		if units, err = grid.Shard(i, n); err != nil {
+			return fmt.Errorf("-shard: %w", err)
+		}
+		header = &sweep.ShardHeader{
+			Shard: i, Of: n, Units: len(units),
+			Grid: grid.PlanDigest(), Format: sweep.ShardFormatVersion,
+		}
+	}
+
+	// The stats trailer shares the row stream by default (back-compat),
+	// but with -o it goes to stdout: a shard file must hold exactly a
+	// header plus rows, or merge would reject it.
+	if *outPath != "" {
+		return writeFileAtomic(*outPath, func(w io.Writer) error {
+			return runSweep(ctx, eng, grid, units, header, w, *stats, os.Stdout)
+		})
+	}
+	return runSweep(ctx, eng, grid, units, header, os.Stdout, *stats, os.Stdout)
+}
+
+// writeFileAtomic streams fn's output to a temp file next to path and
+// renames it into place only when fn succeeds — same discipline as the
+// artifact store's Put — so an interrupted or failed rerun never
+// truncates a previously complete output file.
+func writeFileAtomic(path string, fn func(w io.Writer) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	err = fn(f)
+	if err == nil {
+		// CreateTemp's private 0600 would make the shard file unreadable
+		// to the account collecting shards centrally; match what a shell
+		// redirect would have produced (0644 modulo umask is close enough
+		// and never widens beyond it in practice).
+		err = f.Chmod(0o644)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(f.Name(), path)
+	}
+	if err != nil {
+		os.Remove(f.Name())
 		return err
 	}
 	return nil
 }
 
-// runSweep streams the grid's results as JSON lines; split out from
-// cmdSweep so tests can capture the stream. A dead output (e.g. a
-// closed pipe) cancels the sweep instead of burning CPU on results
-// nobody will see.
-func runSweep(ctx context.Context, eng *sweep.Engine, grid sweep.Grid, w io.Writer, stats bool) error {
+// parseShardSpec parses the I/N form of -shard.
+func parseShardSpec(s string) (i, n int, err error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return 0, 0, fmt.Errorf("want I/N (e.g. 2/3), got %q", s)
+	}
+	if i, err = strconv.Atoi(s[:slash]); err != nil {
+		return 0, 0, fmt.Errorf("bad shard index %q", s[:slash])
+	}
+	if n, err = strconv.Atoi(s[slash+1:]); err != nil {
+		return 0, 0, fmt.Errorf("bad shard count %q", s[slash+1:])
+	}
+	return i, n, nil
+}
+
+// runSweep streams the units' results as JSON lines — preceded by the
+// shard header when sharded — in plan order; split out from cmdSweep so
+// tests can capture the stream. A dead output (e.g. a closed pipe)
+// cancels the sweep instead of burning CPU on results nobody will see.
+func runSweep(ctx context.Context, eng *sweep.Engine, grid sweep.Grid, units []sweep.Unit, header *sweep.ShardHeader, w io.Writer, stats bool, statsW io.Writer) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	if header != nil {
+		if err := sweep.WriteShardHeader(w, *header); err != nil {
+			return fmt.Errorf("writing shard header: %w", err)
+		}
+	}
 	enc := json.NewEncoder(w)
 	var encErr error // only written under Sweep's serialized emit
-	err := eng.Sweep(ctx, grid, func(r sweep.Result) {
+	err := eng.SweepUnits(ctx, grid, units, func(r sweep.Result) {
 		if encErr != nil {
 			return
 		}
@@ -140,7 +219,7 @@ func runSweep(ctx context.Context, eng *sweep.Engine, grid sweep.Grid, w io.Writ
 		obj["entries_schedule"] = uint64(lens.Schedule)
 		obj["entries_base"] = uint64(lens.Base)
 		obj["entries_eval"] = uint64(lens.Eval)
-		return enc.Encode(obj)
+		return json.NewEncoder(statsW).Encode(obj)
 	}
 	return nil
 }

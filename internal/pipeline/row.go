@@ -1,0 +1,75 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Row is the streaming result record of one evaluated grid cell: the
+// cell's identity (loop, machine, model, register budget) plus the
+// measured metrics, shaped for NDJSON output — one canonical JSON
+// object per line. It is the row format `ncdrf sweep` emits, shard
+// output files carry, and `ncdrf merge` splices back together, so its
+// encoding must be byte-stable: EncodeRow(DecodeRow(line)) reproduces
+// line exactly (pinned by TestRowCodecRoundTrip).
+//
+// A cell that fails to compile carries its error in Error with the
+// metrics zero; Error and the omitempty metrics are mutually exclusive
+// in practice but the codec does not enforce it.
+type Row struct {
+	Loop    string `json:"loop"`
+	Machine string `json:"machine"`
+	Model   string `json:"model"`
+	Regs    int    `json:"regs"`
+	II      int    `json:"ii,omitempty"`
+	Stages  int    `json:"stages,omitempty"`
+	Trips   int64  `json:"trips,omitempty"`
+	MemOps  int    `json:"mem_ops,omitempty"`
+	Spilled int    `json:"spilled,omitempty"`
+	IIBumps int    `json:"ii_bumps,omitempty"`
+	Rounds  int    `json:"rounds,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Fill copies the measured metrics of res into r, leaving the identity
+// fields alone. It is the one place the row shape meets the artifact
+// shape, so a new metric is added in exactly two places: the Row field
+// and this copy.
+func (r *Row) Fill(res *ModelResult) {
+	r.II = res.Sched.II
+	r.Stages = res.Sched.Stages()
+	r.MemOps = res.MemOps()
+	r.Spilled = res.SpilledValues
+	r.IIBumps = res.IIBumps
+	r.Rounds = res.Iterations
+}
+
+// EncodeRow writes r's canonical single-line encoding: compact JSON in
+// struct field order, terminated by a newline — the same bytes
+// json.Encoder produces, so streamed output and re-encoded shard rows
+// are interchangeable.
+func EncodeRow(w io.Writer, r Row) error {
+	return json.NewEncoder(w).Encode(r)
+}
+
+// DecodeRow parses one NDJSON line into a Row, strictly: unknown
+// fields, trailing data and rows without a cell identity are rejected,
+// so a shard file assembled from the wrong stream fails loudly at merge
+// time instead of producing a silently wrong table.
+func DecodeRow(line []byte) (Row, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var r Row
+	if err := dec.Decode(&r); err != nil {
+		return Row{}, fmt.Errorf("pipeline: bad result row: %w", err)
+	}
+	if dec.More() {
+		return Row{}, fmt.Errorf("pipeline: trailing data after result row")
+	}
+	if r.Loop == "" || r.Machine == "" || r.Model == "" {
+		return Row{}, fmt.Errorf("pipeline: result row missing cell identity: %q", line)
+	}
+	return r, nil
+}

@@ -1,0 +1,62 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRowCodecRoundTrip pins the byte-stability contract the shard
+// workflow rests on: decode(encode(r)) == r, and re-encoding a decoded
+// line reproduces the original bytes — so `ncdrf merge` can re-emit
+// parsed rows and still match an unsharded stream byte-for-byte.
+func TestRowCodecRoundTrip(t *testing.T) {
+	rows := []Row{
+		{Loop: "daxpy", Machine: "eval-L3", Model: "unified", Regs: 32,
+			II: 2, Stages: 5, Trips: 100, MemOps: 3, Spilled: 1, IIBumps: 1, Rounds: 4},
+		{Loop: "syn0001", Machine: "eval-L6", Model: "ideal", Regs: 0, II: 1, Stages: 13, Trips: 1},
+		{Loop: "impossible", Machine: "add-only", Model: "swapped", Regs: 16,
+			Error: "sched: no memory port"},
+	}
+	for _, r := range rows {
+		var buf bytes.Buffer
+		if err := EncodeRow(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		line := buf.Bytes()
+		if line[len(line)-1] != '\n' || bytes.IndexByte(line[:len(line)-1], '\n') >= 0 {
+			t.Fatalf("not a single NDJSON line: %q", line)
+		}
+		got, err := DecodeRow(line)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != r {
+			t.Fatalf("round trip changed the row:\n got %+v\nwant %+v", got, r)
+		}
+		var again bytes.Buffer
+		if err := EncodeRow(&again, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again.Bytes(), line) {
+			t.Fatalf("re-encode not byte-identical:\n got %q\nwant %q", again.Bytes(), line)
+		}
+	}
+}
+
+// TestDecodeRowRejectsForeignLines checks the strictness DecodeRow
+// promises: unknown fields, non-JSON, trailing data and identity-less
+// rows all fail instead of decaying into zero rows.
+func TestDecodeRowRejectsForeignLines(t *testing.T) {
+	for _, bad := range []string{
+		``,
+		`not json`,
+		`{"loop":"a","machine":"m","model":"ideal","regs":0,"bogus":1}`,
+		`{"loop":"a","machine":"m","model":"ideal","regs":0} trailing`,
+		`{"loop":"","machine":"m","model":"ideal","regs":0}`,
+		`{"ncdrf_shard":1,"of":3,"units":8,"grid":"x","format":1}`,
+	} {
+		if _, err := DecodeRow([]byte(bad)); err == nil {
+			t.Fatalf("DecodeRow accepted %q", bad)
+		}
+	}
+}

@@ -110,6 +110,17 @@ func tryII(g *ddg.Graph, m *machine.Config, ii, budgetRatio int) (*Schedule, boo
 	for unplaced > 0 && budget > 0 {
 		budget--
 		u := st.nextUnscheduled(order)
+		if u < 0 {
+			// Cannot happen while unplaced > 0: the priority order covers
+			// every node, so a placed-everything state contradicts the
+			// unplaced count. A malformed order is the only way here, so
+			// fail with enough context to diagnose it — through the same
+			// contextual-error path as findSlot — instead of taking the
+			// whole sweep down with a panic.
+			return nil, false, fmt.Errorf(
+				"sched: loop %s at II=%d: %d operations unplaced but none unscheduled in the priority order (inconsistent scheduler state)",
+				g.LoopName, ii, unplaced)
+		}
 		estart := st.earliestStart(u)
 		slot, fu, found := st.findSlot(u, estart)
 		if !found {
@@ -144,14 +155,16 @@ type imsState struct {
 	unitLoad []int
 }
 
-// nextUnscheduled returns the highest-priority unscheduled node.
+// nextUnscheduled returns the highest-priority unscheduled node, or -1
+// when every node in order is placed (which the caller reports as an
+// inconsistent-state error; see the call site).
 func (st *imsState) nextUnscheduled(order []int) int {
 	for _, id := range order {
 		if !st.placed[id] {
 			return id
 		}
 	}
-	panic("sched: nextUnscheduled on fully scheduled state")
+	return -1
 }
 
 // earliestStart computes the earliest legal issue cycle of u with respect

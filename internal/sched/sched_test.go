@@ -380,3 +380,17 @@ func TestHeightsMonotoneAlongChain(t *testing.T) {
 		t.Fatalf("height(L1) = %d, want 13", get("L1"))
 	}
 }
+
+// TestNextUnscheduledExhausted pins the PR 4 panic conversion: a fully
+// placed state reports -1 (which schedule() turns into a contextual
+// error) instead of panicking out of the whole sweep.
+func TestNextUnscheduledExhausted(t *testing.T) {
+	st := &imsState{placed: []bool{true, true, true}}
+	if u := st.nextUnscheduled([]int{2, 0, 1}); u != -1 {
+		t.Fatalf("nextUnscheduled on placed state = %d, want -1", u)
+	}
+	st.placed[1] = false
+	if u := st.nextUnscheduled([]int{2, 0, 1}); u != 1 {
+		t.Fatalf("nextUnscheduled = %d, want 1", u)
+	}
+}

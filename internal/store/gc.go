@@ -1,0 +1,244 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file is the maintenance surface of the artifact store: the
+// enumeration and garbage-collection APIs behind `ncdrf cache`. Scan
+// walks every version directory — not just the current one — so a
+// long-lived shared cache directory can be inspected and pruned after
+// format bumps, interrupted writers and damaged files, without
+// disturbing the live entries the engine is still serving.
+
+// EntryInfo describes one artifact file found by Scan.
+type EntryInfo struct {
+	// Version is the version directory the file lives under; entries with
+	// Version != FormatVersion are stale — the current binary never reads
+	// them.
+	Version int
+	// Stage and Key locate the artifact inside its version directory.
+	Stage, Key string
+	// Size is the file size in bytes (header + payload).
+	Size int64
+	// ModTime is the file's modification time (its install time: rename
+	// preserves the temp file's write stamp).
+	ModTime time.Time
+	// Damaged reports that a current-version file failed
+	// self-verification: truncation, corruption, or a header that
+	// disagrees with its location. Stale-version files are never marked
+	// damaged — their format may legitimately differ, and GC removes
+	// them wholesale anyway.
+	Damaged bool
+}
+
+// Summary is the outcome of a directory scan.
+type Summary struct {
+	// Dir is the scanned artifact directory (the -cache-dir root, not a
+	// version directory).
+	Dir string
+	// Entries lists every artifact file across all version directories,
+	// sorted by (version, stage, key) for stable rendering.
+	Entries []EntryInfo
+	// Temps counts leftover .tmp-* files from interrupted writers, and
+	// TempBytes their total size.
+	Temps     int
+	TempBytes int64
+	// Foreign counts directory entries that are not part of the store
+	// layout (neither a v<N> directory, a stage directory, nor an
+	// artifact or temp file). GC never touches them.
+	Foreign int
+
+	temps []string // absolute paths, for GC
+}
+
+// parseVersionDir extracts N from a "vN" directory name.
+func parseVersionDir(name string) (int, bool) {
+	if !strings.HasPrefix(name, "v") {
+		return 0, false
+	}
+	v, err := strconv.Atoi(name[1:])
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// Scan enumerates an artifact directory: every version, stage and
+// artifact file, with each file re-verified against its header (so the
+// scan reads every byte — proportional to the store size, fine for a
+// maintenance command). Scan never modifies the directory.
+func Scan(dir string) (*Summary, error) {
+	tops, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sum := &Summary{Dir: dir}
+	for _, top := range tops {
+		v, ok := parseVersionDir(top.Name())
+		if !ok || !top.IsDir() {
+			sum.Foreign++
+			continue
+		}
+		vdir := filepath.Join(dir, top.Name())
+		stages, err := os.ReadDir(vdir)
+		if err != nil {
+			// A directory that vanished mid-scan is a concurrent GC or
+			// writer — skip it. Anything else (permissions) must surface:
+			// reporting a populated-but-unreadable store as "no artifacts"
+			// invites the operator to delete a valid cache.
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		for _, st := range stages {
+			if !st.IsDir() {
+				sum.Foreign++
+				continue
+			}
+			stageDir := filepath.Join(vdir, st.Name())
+			files, err := os.ReadDir(stageDir)
+			if err != nil {
+				if os.IsNotExist(err) {
+					continue
+				}
+				return nil, fmt.Errorf("store: %w", err)
+			}
+			for _, f := range files {
+				info, err := f.Info()
+				if err != nil {
+					continue // vanished mid-scan: a concurrent GC or writer
+				}
+				if strings.HasPrefix(f.Name(), ".tmp-") {
+					sum.Temps++
+					sum.TempBytes += info.Size()
+					sum.temps = append(sum.temps, filepath.Join(stageDir, f.Name()))
+					continue
+				}
+				e := EntryInfo{
+					Version: v, Stage: st.Name(), Key: f.Name(),
+					Size: info.Size(), ModTime: info.ModTime(),
+				}
+				if v == FormatVersion {
+					data, err := os.ReadFile(filepath.Join(stageDir, f.Name()))
+					if err != nil {
+						e.Damaged = true
+					} else if _, ok := verifyPayload(data, v, st.Name()); !ok {
+						e.Damaged = true
+					}
+				}
+				sum.Entries = append(sum.Entries, e)
+			}
+		}
+	}
+	sort.Slice(sum.Entries, func(i, j int) bool {
+		a, b := sum.Entries[i], sum.Entries[j]
+		if a.Version != b.Version {
+			return a.Version < b.Version
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		return a.Key < b.Key
+	})
+	return sum, nil
+}
+
+// GCOptions selects what GC removes beyond the always-removed classes
+// (stale versions, damaged files, leftover temps).
+type GCOptions struct {
+	// MaxAge, when positive, additionally removes intact current-version
+	// artifacts older than this. Zero keeps every age.
+	MaxAge time.Duration
+	// DryRun reports what would be removed without removing anything.
+	DryRun bool
+}
+
+// GCResult reports what GC removed (or, under DryRun, would remove),
+// by reason, plus the live entries it left untouched.
+type GCResult struct {
+	// StaleVersions, Damaged and Expired count removed artifact files by
+	// reason; Temps counts removed leftover temp files.
+	StaleVersions, Damaged, Expired, Temps int
+	// Bytes is the total size of everything removed.
+	Bytes int64
+	// Kept counts intact current-version entries left in place.
+	Kept int
+}
+
+// Removed returns the total number of files removed.
+func (r GCResult) Removed() int {
+	return r.StaleVersions + r.Damaged + r.Expired + r.Temps
+}
+
+// GC prunes the scanned directory: artifacts under stale version
+// directories (the current binary never reads them), damaged files
+// (which would otherwise fault forever), leftover temp files, and —
+// with MaxAge — intact entries older than the cutoff. Removal is
+// best-effort and safe against concurrent engines sharing the
+// directory: a removed live entry is indistinguishable from a miss and
+// is simply recomputed; a file that vanished since the scan is skipped
+// silently. Emptied stage and version directories are removed too.
+func (s *Summary) GC(opt GCOptions) (*GCResult, error) {
+	res := &GCResult{}
+	cutoff := time.Time{}
+	if opt.MaxAge > 0 {
+		cutoff = time.Now().Add(-opt.MaxAge)
+	}
+	remove := func(path string, size int64, reason *int) {
+		if !opt.DryRun {
+			// Count only what actually left the disk, so the summary the
+			// operator reads is truthful: a file os.Remove could not
+			// delete (permissions, read-only mount) is still there and
+			// will be re-reported by the next scan. A file that vanished
+			// on its own since the scan counts as removed — it is gone
+			// either way.
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return
+			}
+		}
+		*reason++
+		res.Bytes += size
+	}
+	dirs := map[string]bool{}
+	for _, e := range s.Entries {
+		path := filepath.Join(s.Dir, fmt.Sprintf("v%d", e.Version), e.Stage, e.Key)
+		dirs[filepath.Dir(path)] = true
+		switch {
+		case e.Version != FormatVersion:
+			remove(path, e.Size, &res.StaleVersions)
+		case e.Damaged:
+			remove(path, e.Size, &res.Damaged)
+		case !cutoff.IsZero() && e.ModTime.Before(cutoff):
+			remove(path, e.Size, &res.Expired)
+		default:
+			res.Kept++
+		}
+	}
+	for _, path := range s.temps {
+		dirs[filepath.Dir(path)] = true
+		info, err := os.Stat(path)
+		if err != nil {
+			continue
+		}
+		remove(path, info.Size(), &res.Temps)
+	}
+	if !opt.DryRun {
+		// Drop directories the pruning emptied: stage dirs first, then
+		// their version dirs. os.Remove refuses non-empty directories, so
+		// live content is never at risk.
+		for dir := range dirs {
+			if os.Remove(dir) == nil {
+				os.Remove(filepath.Dir(dir))
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,169 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// buildDirtyStore populates dir with: two live artifacts, one damaged
+// artifact, one stale-version artifact, one leftover temp file and one
+// foreign file. It returns the store for follow-up reads.
+func buildDirtyStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"live-a", "live-b"} {
+		if err := s.Put("sched", k, []byte("payload of "+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put("eval", "broken", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.Dir(), "eval", "broken"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	staleDir := filepath.Join(dir, fmt.Sprintf("v%d", FormatVersion+1), "sched")
+	if err := os.MkdirAll(staleDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(staleDir, "old"), []byte("from another format"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.Dir(), "sched", ".tmp-dead-1"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not ours"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func countBy(entries []EntryInfo, pred func(EntryInfo) bool) int {
+	n := 0
+	for _, e := range entries {
+		if pred(e) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestScanEnumeratesEverything(t *testing.T) {
+	dir := t.TempDir()
+	buildDirtyStore(t, dir)
+	sum, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Entries) != 4 {
+		t.Fatalf("scanned %d entries, want 4: %+v", len(sum.Entries), sum.Entries)
+	}
+	if n := countBy(sum.Entries, func(e EntryInfo) bool { return e.Damaged }); n != 1 {
+		t.Fatalf("damaged count = %d, want 1", n)
+	}
+	if n := countBy(sum.Entries, func(e EntryInfo) bool { return e.Version != FormatVersion }); n != 1 {
+		t.Fatalf("stale-version count = %d, want 1", n)
+	}
+	if sum.Temps != 1 || sum.Foreign != 1 {
+		t.Fatalf("temps = %d, foreign = %d, want 1, 1", sum.Temps, sum.Foreign)
+	}
+	for _, e := range sum.Entries {
+		if e.Size <= 0 || e.ModTime.IsZero() {
+			t.Fatalf("degenerate entry: %+v", e)
+		}
+	}
+	// A missing directory is an error (a mistyped path must surface),
+	// unlike the store's usual fault-tolerant reads.
+	if _, err := Scan(filepath.Join(dir, "no-such")); err == nil {
+		t.Fatal("scan of missing dir must error")
+	}
+}
+
+func TestGCRemovesDeadKeepsLive(t *testing.T) {
+	dir := t.TempDir()
+	s := buildDirtyStore(t, dir)
+	sum, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dry run first: counts but does not touch the directory.
+	res, err := sum.GC(GCOptions{DryRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaleVersions != 1 || res.Damaged != 1 || res.Temps != 1 || res.Expired != 0 || res.Kept != 2 {
+		t.Fatalf("dry-run result wrong: %+v", res)
+	}
+	if again, _ := Scan(dir); len(again.Entries) != len(sum.Entries) || again.Temps != sum.Temps {
+		t.Fatal("dry run modified the directory")
+	}
+
+	res, err = sum.GC(GCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed() != 3 || res.Kept != 2 || res.Bytes <= 0 {
+		t.Fatalf("gc result wrong: %+v", res)
+	}
+	after, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Entries) != 2 || after.Temps != 0 {
+		t.Fatalf("gc left %d entries, %d temps", len(after.Entries), after.Temps)
+	}
+	// The emptied stale version directory is gone; the foreign file and
+	// the live artifacts are untouched.
+	if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("v%d", FormatVersion+1))); !os.IsNotExist(err) {
+		t.Fatalf("stale version dir survived: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Fatalf("foreign file touched: %v", err)
+	}
+	for _, k := range []string{"live-a", "live-b"} {
+		if _, ok := s.Get("sched", k); !ok {
+			t.Fatalf("live artifact %s lost", k)
+		}
+	}
+}
+
+func TestGCMaxAgeExpiresIntactEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"old", "new"} {
+		if err := s.Put("sched", k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	past := time.Now().Add(-48 * time.Hour)
+	if err := os.Chtimes(filepath.Join(s.Dir(), "sched", "old"), past, past); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sum.GC(GCOptions{MaxAge: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Expired != 1 || res.Kept != 1 {
+		t.Fatalf("max-age result wrong: %+v", res)
+	}
+	if _, ok := s.Get("sched", "old"); ok {
+		t.Fatal("expired artifact survived")
+	}
+	if _, ok := s.Get("sched", "new"); !ok {
+		t.Fatal("fresh artifact expired")
+	}
+}

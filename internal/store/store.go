@@ -138,19 +138,51 @@ func (s *Store) path(stage, key string) string {
 	return filepath.Join(s.root, stage, key)
 }
 
-// header renders the self-verification line that leads every artifact.
-func header(stage string, payload []byte) string {
+// headerLine renders the self-verification line (sans newline) that
+// leads every artifact. It is the one formatter for the header: the
+// write side (header) and the read side (verifyPayload) both call it,
+// so the two can never drift apart — a drift would make every fresh
+// Put fail its next Get, and Get's damage removal would then delete
+// the whole cache instead of merely missing.
+func headerLine(version int, stage string, payload []byte) string {
 	sum := sha256.Sum256(payload)
-	return fmt.Sprintf("%s v%d %s %d %s\n",
-		magic, FormatVersion, stage, len(payload), hex.EncodeToString(sum[:]))
+	return fmt.Sprintf("%s v%d %s %d %s",
+		magic, version, stage, len(payload), hex.EncodeToString(sum[:]))
+}
+
+// header renders the header line Put writes.
+func header(stage string, payload []byte) string {
+	return headerLine(FormatVersion, stage, payload) + "\n"
+}
+
+// verifyPayload checks data's header against (version, stage) and
+// returns the framed payload. It is the one verification routine: Get
+// uses it with the current FormatVersion, Scan with whatever version
+// directory a file was found under.
+func verifyPayload(data []byte, version int, stage string) ([]byte, bool) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, false
+	}
+	payload := data[nl+1:]
+	if string(data[:nl]) != headerLine(version, stage, payload) {
+		return nil, false
+	}
+	return payload, true
 }
 
 // Get returns the verified payload stored under (stage, key), or false
 // when it is absent or damaged. Damage (truncation, corruption, version
 // or stage mismatch) counts as a fault and reads as a miss: the caller
-// recomputes.
+// recomputes. A verified-damaged file is best-effort removed — leaving
+// it on disk would fault again on every future run, a permanent
+// fault-loop — so the recompute's Put installs a clean one. The
+// removal can race another process repairing the same key (its fresh
+// artifact is deleted and reads as a miss next time); that is within
+// the store's best-effort contract and costs one recompute.
 func (s *Store) Get(stage, key string) ([]byte, bool) {
-	data, err := os.ReadFile(s.path(stage, key))
+	path := s.path(stage, key)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			s.misses.Add(1)
@@ -159,13 +191,9 @@ func (s *Store) Get(stage, key string) ([]byte, bool) {
 		}
 		return nil, false
 	}
-	nl := bytes.IndexByte(data, '\n')
-	if nl < 0 {
-		s.faults.Add(1)
-		return nil, false
-	}
-	payload := data[nl+1:]
-	if string(data[:nl+1]) != header(stage, payload) {
+	payload, ok := verifyPayload(data, FormatVersion, stage)
+	if !ok {
+		os.Remove(path)
 		s.faults.Add(1)
 		return nil, false
 	}
@@ -210,6 +238,15 @@ func (s *Store) Put(stage, key string, payload []byte) error {
 // failed the caller's decoding — e.g. an artifact written by a buggy
 // build. The caller recomputes; the next Put overwrites the bad file.
 func (s *Store) Fault() { s.faults.Add(1) }
+
+// Discard is Fault plus best-effort removal of (stage, key)'s file: for
+// decode-level damage, where the container verifies but the payload is
+// undecodable, so without removal the artifact would fault again on
+// every future run instead of letting the recompute's Put replace it.
+func (s *Store) Discard(stage, key string) {
+	s.faults.Add(1)
+	os.Remove(s.path(stage, key))
+}
 
 // Stats returns a snapshot of the store counters.
 func (s *Store) Stats() Stats {

@@ -228,3 +228,53 @@ func TestConcurrentPutGet(t *testing.T) {
 		t.Fatalf("directory holds %d entries, want 1", len(entries))
 	}
 }
+
+// TestDamagedArtifactRemoved pins the PR 4 fault-loop fix: a damaged
+// artifact is removed by the Get that detects it, so it faults once,
+// not on every future run.
+func TestDamagedArtifactRemoved(t *testing.T) {
+	s := openT(t)
+	if err := s.Put("sched", "victim", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Dir(), "sched", "victim")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("sched", "victim"); ok {
+		t.Fatal("damaged artifact served")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("damaged artifact left on disk: %v", err)
+	}
+	// The second read is a plain miss, not another fault.
+	if _, ok := s.Get("sched", "victim"); ok {
+		t.Fatal("removed artifact served")
+	}
+	if st := s.Stats(); st.Faults != 1 || st.Misses != 1 {
+		t.Fatalf("fault loop not broken: %+v", st)
+	}
+}
+
+// TestDiscardRemovesDecodeFaults covers the codec-level variant: the
+// container verifies but the caller cannot decode the payload, so it
+// discards the artifact and the next Put installs a clean one.
+func TestDiscardRemovesDecodeFaults(t *testing.T) {
+	s := openT(t)
+	if err := s.Put("eval", "k", []byte("valid container, bogus payload")); err != nil {
+		t.Fatal(err)
+	}
+	s.Discard("eval", "k")
+	if _, err := os.Stat(filepath.Join(s.Dir(), "eval", "k")); !os.IsNotExist(err) {
+		t.Fatalf("discarded artifact left on disk: %v", err)
+	}
+	if st := s.Stats(); st.Faults != 1 {
+		t.Fatalf("discard not counted: %+v", st)
+	}
+	if err := s.Put("eval", "k", []byte("clean")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("eval", "k"); !ok || string(got) != "clean" {
+		t.Fatalf("reinstall after discard failed: %q %v", got, ok)
+	}
+}

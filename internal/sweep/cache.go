@@ -234,14 +234,18 @@ func (c *Cache) loadSched(key cacheKey, m *machine.Config) (*sched.Schedule, boo
 	if c.store == nil {
 		return nil, false
 	}
-	data, ok := c.store.Get(stageSched, diskKey(key, m, ""))
+	dk := diskKey(key, m, "")
+	data, ok := c.store.Get(stageSched, dk)
 	if ok {
 		s, err := pipeline.DecodeSchedule(bytes.NewReader(data), m)
 		if err == nil {
 			c.schedDiskHits.Add(1)
 			return s, true
 		}
-		c.store.Fault()
+		// Verified container, undecodable payload: discard the file so
+		// the recompute's write-behind replaces it instead of the same
+		// artifact faulting on every future run.
+		c.store.Discard(stageSched, dk)
 	}
 	return nil, false
 }
@@ -266,14 +270,15 @@ func (c *Cache) loadEval(key evalKey, m *machine.Config) (*pipeline.ModelResult,
 	if c.store == nil {
 		return nil, false
 	}
-	data, ok := c.store.Get(stageEval, diskKey(key.base, m, key.storeExtra()))
+	dk := diskKey(key.base, m, key.storeExtra())
+	data, ok := c.store.Get(stageEval, dk)
 	if ok {
 		res, err := pipeline.DecodeModelResult(bytes.NewReader(data), m)
 		if err == nil && res.Model == key.model {
 			c.evalDiskHits.Add(1)
 			return res, true
 		}
-		c.store.Fault()
+		c.store.Discard(stageEval, dk)
 	}
 	return nil, false
 }

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -102,14 +103,43 @@ func (f *flight[K, V]) do(ctx context.Context, key K, compute func() (V, error))
 	f.mu.Unlock()
 	f.misses.Add(1)
 
+	f.run(key, s, compute)
+	return s.val, s.err
+}
+
+// run executes compute into s and settles the slot. A panicking compute
+// must not strand the slot: before PR 4 the slot stayed in the map with
+// ready never closed, so every concurrent and future caller for the key
+// blocked forever (e.g. the stale-digest invariant panic in cache.go).
+// Now the panic is converted into the slot's error — settled under the
+// normal retention policy, so waiters observe a real failure — and then
+// re-raised on the computing goroutine, which is the one that owns the
+// broken invariant.
+func (f *flight[K, V]) run(key K, s *slot[V], compute func() (V, error)) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.err = fmt.Errorf("sweep: cached computation panicked: %v", r)
+			f.settle(key, s)
+			panic(r)
+		}
+	}()
 	s.val, s.err = compute()
+	f.settle(key, s)
+}
+
+// settle applies the retention policy and publishes the outcome. The
+// drop-from-map must happen before close(ready): waiters distinguish
+// retained from dropped failures by checking whether the slot is still
+// mapped after ready closes.
+func (f *flight[K, V]) settle(key K, s *slot[V]) {
 	if s.err != nil && f.retain != nil && !f.retain(s.err) {
 		f.mu.Lock()
-		delete(f.slots, key)
+		if f.slots[key] == s {
+			delete(f.slots, key)
+		}
 		f.mu.Unlock()
 	}
 	close(s.ready)
-	return s.val, s.err
 }
 
 // len returns the number of retained entries.

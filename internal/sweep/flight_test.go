@@ -1,0 +1,121 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlightPanicDoesNotDeadlock is the regression test for the PR 4
+// panic-path fix: a compute that panics (e.g. the stale-digest invariant
+// panic in cache.go) must close the slot and publish a real error, so
+// concurrent waiters and future callers for the same key never block on
+// a dead slot. Run under -race (CI does) to also catch unsynchronized
+// slot access on the panic path.
+func TestFlightPanicDoesNotDeadlock(t *testing.T) {
+	f := newFlight[string, int](nil) // retain-all, like the schedule stage
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	computed := make(chan any, 1)
+	go func() {
+		defer func() { computed <- recover() }()
+		f.do(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-release
+			panic("boom")
+		})
+	}()
+
+	// A concurrent waiter joins the in-flight computation before it
+	// panics.
+	<-started
+	waited := make(chan error, 1)
+	go func() {
+		_, err := f.do(context.Background(), "k", func() (int, error) {
+			t.Error("waiter recomputed a retained key")
+			return 0, nil
+		})
+		waited <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter enter its wait
+	close(release)
+
+	if r := <-computed; r == nil {
+		t.Fatal("panic was swallowed instead of re-raised")
+	}
+	select {
+	case err := <-waited:
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("waiter error = %v, want panic-derived error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("concurrent waiter deadlocked on the panicked slot")
+	}
+
+	// A future caller shares the retained failure instead of blocking
+	// (retain-all policy: the panic is deterministic).
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.do(context.Background(), "k", func() (int, error) { return 7, nil })
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("future caller error = %v, want retained panic error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("future caller deadlocked on the panicked slot")
+	}
+}
+
+// TestFlightPanicDroppedSlotRecomputes checks the panic path under a
+// drop-everything retention policy: the dead slot is removed, so the
+// next caller recomputes and can succeed.
+func TestFlightPanicDroppedSlotRecomputes(t *testing.T) {
+	f := newFlight[string, int](func(error) bool { return false })
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic not re-raised")
+			}
+		}()
+		f.do(context.Background(), "k", func() (int, error) { panic("boom") })
+	}()
+	if n := f.len(); n != 0 {
+		t.Fatalf("dead slot retained: %d entries", n)
+	}
+	v, err := f.do(context.Background(), "k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("recompute after panic = %v, %v", v, err)
+	}
+}
+
+// TestFlightPanicConcurrentKeys hammers one panicking key from many
+// goroutines to shake out races between settle, waiters and re-panics.
+func TestFlightPanicConcurrentKeys(t *testing.T) {
+	f := newFlight[string, int](retainDeterministic)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { recover() }() // the computing goroutine re-panics
+			_, err := f.do(context.Background(), "k", func() (int, error) { panic("boom") })
+			if err != nil && !strings.Contains(err.Error(), "panicked") && !errors.Is(err, context.Canceled) {
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("concurrent panicking callers deadlocked")
+	}
+}

@@ -2,11 +2,15 @@ package sweep
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"sync"
 
 	"ncdrf/internal/core"
 	"ncdrf/internal/ddg"
 	"ncdrf/internal/machine"
+	"ncdrf/internal/pipeline"
 )
 
 // Grid describes a sweep: the cross product of loops, machines, models
@@ -68,31 +72,81 @@ func (g Grid) Plan() []Unit {
 	return units
 }
 
-// Result is the outcome of one work unit, shaped for JSON streaming.
-// A unit that fails carries its error in Error with the zero metrics.
-type Result struct {
-	Loop    string `json:"loop"`
-	Machine string `json:"machine"`
-	Model   string `json:"model"`
-	Regs    int    `json:"regs"`
-	II      int    `json:"ii,omitempty"`
-	Stages  int    `json:"stages,omitempty"`
-	Trips   int64  `json:"trips,omitempty"`
-	MemOps  int    `json:"mem_ops,omitempty"`
-	Spilled int    `json:"spilled,omitempty"`
-	IIBumps int    `json:"ii_bumps,omitempty"`
-	Rounds  int    `json:"rounds,omitempty"`
-	Error   string `json:"error,omitempty"`
+// Shard returns the i-th of n contiguous, balanced partitions of
+// Plan(), 1-based: `-shard 2/4` means the same cells on every machine.
+// Shards are disjoint, cover the plan exactly, and concatenating shards
+// 1..n in order reproduces Plan() — which is why `ncdrf merge` can
+// splice shard outputs back into the single-run stream byte-for-byte.
+// Contiguity also makes sequential shards cooperate through a shared
+// artifact store: the plan revisits each (loop, machine) pair once per
+// (model, regs) combination, so shard k+1's base schedules are largely
+// shard k's disk hits.
+func (g Grid) Shard(i, n int) ([]Unit, error) {
+	if n < 1 || i < 1 || i > n {
+		return nil, fmt.Errorf("sweep: shard %d/%d out of range (want 1 <= i <= n)", i, n)
+	}
+	units := g.Plan()
+	q, r := len(units)/n, len(units)%n
+	lo := (i-1)*q + min(i-1, r)
+	hi := lo + q
+	if i <= r {
+		hi++
+	}
+	return units[lo:hi], nil
 }
 
+// PlanDigest identifies the planned grid for shard-file validation: a
+// short hex digest over every planned cell — loop content (the same
+// canonical encoding the cache keys digest), machine name, model and
+// register budget, in plan order. Two grids merge-compatibly iff their
+// digests match; a shard produced from a different corpus, seed or flag
+// set is rejected by `ncdrf merge` instead of being silently spliced in.
+func (g Grid) PlanDigest() string {
+	units := g.Plan()
+	loopSums := map[int][sha256.Size]byte{}
+	h := sha256.New()
+	fmt.Fprintf(h, "plan %d\n", len(units))
+	for _, u := range units {
+		sum, ok := loopSums[u.Loop]
+		if !ok {
+			sum = sha256.Sum256(appendEncoding(nil, g.Corpus[u.Loop]))
+			loopSums[u.Loop] = sum
+		}
+		h.Write(sum[:])
+		fmt.Fprintf(h, "\x00%s\x00%s\x00%d\n", g.Machines[u.Machine].Name(), u.Model, u.Regs)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Result is the outcome of one work unit: the NDJSON result row of
+// internal/pipeline (see pipeline.Row for the codec and field
+// contract). A unit that fails carries its error in Error with the
+// zero metrics.
+type Result = pipeline.Row
+
 // Sweep plans the grid and compiles every unit on the worker pool,
-// calling emit once per unit as results become available (emit calls are
-// serialized; their order follows completion, not plan order). Per-unit
-// compile failures are reported inside the Result, not as an error;
-// Sweep's own error is non-nil only when ctx is cancelled.
+// calling emit once per unit. Emit calls are serialized and follow plan
+// order — results are reordered as workers finish, so the output stream
+// is deterministic and shard outputs merge byte-identically with an
+// unsharded run. Per-unit compile failures are reported inside the
+// Result, not as an error; Sweep's own error is non-nil only when ctx
+// is cancelled (in which case not-yet-emittable buffered results are
+// discarded with the rest of the run).
 func (e *Engine) Sweep(ctx context.Context, grid Grid, emit func(Result)) error {
-	units := grid.Plan()
-	var mu sync.Mutex
+	return e.SweepUnits(ctx, grid, grid.Plan(), emit)
+}
+
+// SweepUnits is Sweep over an explicit unit list — a whole plan or one
+// Shard of it. Units index into grid's Corpus and Machines; emit calls
+// are serialized and follow the order of units. Buffering is bounded by
+// completion skew: a result waits only while earlier units are still
+// in flight, so memory stays near the pool width in practice.
+func (e *Engine) SweepUnits(ctx context.Context, grid Grid, units []Unit, emit func(Result)) error {
+	var (
+		mu      sync.Mutex
+		pending = map[int]Result{}
+		next    int
+	)
 	return e.ForEach(ctx, len(units), func(i int) error {
 		u := units[i]
 		g, m := grid.Corpus[u.Loop], grid.Machines[u.Machine]
@@ -112,15 +166,19 @@ func (e *Engine) Sweep(ctx context.Context, grid Grid, emit func(Result)) error 
 			}
 			r.Error = err.Error()
 		} else {
-			r.II = res.Sched.II
-			r.Stages = res.Sched.Stages()
-			r.MemOps = res.MemOps()
-			r.Spilled = res.SpilledValues
-			r.IIBumps = res.IIBumps
-			r.Rounds = res.Iterations
+			r.Fill(res)
 		}
 		mu.Lock()
-		emit(r)
+		pending[i] = r
+		for {
+			ready, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			emit(ready)
+		}
 		mu.Unlock()
 		return nil
 	})

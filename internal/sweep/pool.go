@@ -21,7 +21,8 @@ const maxReportedErrors = 16
 // accumulated, at which point a systemic failure is evident and the
 // pool stops dispatching new items rather than burning the rest of the
 // workload on errors nobody will see (in-flight items still finish and
-// are counted). When ctx is cancelled the pool stops handing out new
+// are counted), and the joined error reports how many items were never
+// attempted. When ctx is cancelled the pool stops handing out new
 // items and returns promptly — after at most the in-flight items
 // finish — with an error satisfying errors.Is(err, ctx.Err()).
 func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
@@ -75,6 +76,13 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	wg.Wait()
 	if dropped > 0 {
 		errs = append(errs, fmt.Errorf("... and %d more errors", dropped))
+	}
+	// When dispatch stopped early — error cap hit or context cancelled —
+	// the remainder of the workload was never attempted. Say so: the
+	// dropped-errors line above only counts items that ran and failed,
+	// and silently skipping the rest reads as if they had succeeded.
+	if next < n {
+		errs = append(errs, fmt.Errorf("%d of %d items not attempted", n-next, n))
 	}
 	if err := ctx.Err(); err != nil {
 		errs = append([]error{err}, errs...)

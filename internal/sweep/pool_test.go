@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -67,11 +68,34 @@ func TestForEachBailsOnSystemicFailure(t *testing.T) {
 	if !errors.As(err, &joined) {
 		t.Fatalf("error is not an aggregate: %v", err)
 	}
-	if n := len(joined.Unwrap()); n != maxReportedErrors {
-		t.Fatalf("aggregated %d errors, want %d", n, maxReportedErrors)
+	// maxReportedErrors per-item errors plus the not-attempted notice.
+	if n := len(joined.Unwrap()); n != maxReportedErrors+1 {
+		t.Fatalf("aggregated %d errors, want %d", n, maxReportedErrors+1)
 	}
 	if ran.Load() != maxReportedErrors {
 		t.Fatalf("pool ran %d items after systemic failure, want %d", ran.Load(), maxReportedErrors)
+	}
+	// The truncated remainder is reported, not silently skipped: before
+	// PR 4 the "... and N more errors" line only counted dropped errors,
+	// so never-attempted items looked like successes.
+	want := fmt.Sprintf("%d of 10000 items not attempted", 10000-maxReportedErrors)
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("aggregate missing %q:\n%v", want, err)
+	}
+}
+
+// TestForEachReportsNothingSpuriously checks the not-attempted notice
+// stays out of fully dispatched runs: errors below the cap must not
+// fabricate a truncation line.
+func TestForEachReportsNothingSpuriously(t *testing.T) {
+	err := ForEach(context.Background(), 20, 4, func(i int) error {
+		if i == 3 {
+			return fmt.Errorf("item 3 failed")
+		}
+		return nil
+	})
+	if err == nil || strings.Contains(err.Error(), "not attempted") {
+		t.Fatalf("spurious truncation notice: %v", err)
 	}
 }
 

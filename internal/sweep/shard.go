@@ -1,0 +1,153 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"ncdrf/internal/pipeline"
+)
+
+// Shard output files make one sweep grid executable as n cooperating
+// processes: `ncdrf sweep -shard i/n -o file` writes one ShardHeader
+// line followed by that shard's result rows, and `ncdrf merge` splices
+// the n files back into exactly the stream an unsharded run would have
+// produced. The header carries everything merge needs to refuse a wrong
+// mix: the shard coordinates, the expected row count, the grid's plan
+// digest, and the file-format version.
+
+// ShardFormatVersion stamps the shard-file layout (header shape + row
+// codec). Bump it when either changes; merge then rejects old files
+// instead of misreading them.
+const ShardFormatVersion = 1
+
+// ShardHeader is the first line of a shard output file. The
+// "ncdrf_shard" key doubles as the file-type marker: result rows never
+// carry it, so a row stream and a shard file cannot be confused.
+type ShardHeader struct {
+	// Shard and Of are the 1-based shard coordinates: shard Shard of Of.
+	Shard int `json:"ncdrf_shard"`
+	Of    int `json:"of"`
+	// Units is the number of result rows the file must contain.
+	Units int `json:"units"`
+	// Grid is the producing grid's PlanDigest.
+	Grid string `json:"grid"`
+	// Format is ShardFormatVersion at write time.
+	Format int `json:"format"`
+}
+
+// ShardFile is one parsed shard output: its header and its rows, in
+// shard (= plan-subsequence) order.
+type ShardFile struct {
+	Header ShardHeader
+	Rows   []pipeline.Row
+}
+
+// WriteShardHeader writes the header line that opens a shard file.
+func WriteShardHeader(w io.Writer, h ShardHeader) error {
+	return json.NewEncoder(w).Encode(h)
+}
+
+// ReadShardFile parses one shard output file strictly: a header line,
+// then exactly Header.Units result rows, then EOF. A truncated shard
+// (interrupted run) or an over-long one (concatenated streams) is
+// rejected here, before merge can assemble a silently incomplete grid.
+func ReadShardFile(r io.Reader) (ShardFile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return ShardFile{}, err
+		}
+		return ShardFile{}, fmt.Errorf("empty file (not a shard output)")
+	}
+	line := sc.Bytes()
+	if !bytes.Contains(line, []byte(`"ncdrf_shard"`)) {
+		return ShardFile{}, fmt.Errorf("missing shard header (was this written with -shard?)")
+	}
+	// Decode the header leniently first: a future format is allowed to
+	// add fields, and the version-mismatch message must win over an
+	// unknown-field error for exactly that case.
+	var f ShardFile
+	if err := json.Unmarshal(line, &f.Header); err != nil {
+		return ShardFile{}, fmt.Errorf("bad shard header: %w", err)
+	}
+	h := f.Header
+	if h.Format != ShardFormatVersion {
+		return ShardFile{}, fmt.Errorf("shard format v%d, this binary reads v%d", h.Format, ShardFormatVersion)
+	}
+	// Same-version headers are held to the strict contract.
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f.Header); err != nil {
+		return ShardFile{}, fmt.Errorf("bad shard header: %w", err)
+	}
+	if h.Of < 1 || h.Shard < 1 || h.Shard > h.Of || h.Units < 0 {
+		return ShardFile{}, fmt.Errorf("implausible shard header: %+v", h)
+	}
+	for sc.Scan() {
+		row, err := pipeline.DecodeRow(sc.Bytes())
+		if err != nil {
+			return ShardFile{}, fmt.Errorf("row %d: %w", len(f.Rows)+1, err)
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return ShardFile{}, err
+	}
+	if len(f.Rows) != h.Units {
+		return ShardFile{}, fmt.Errorf("shard %d/%d holds %d rows, header promises %d (interrupted run?)",
+			h.Shard, h.Of, len(f.Rows), h.Units)
+	}
+	return f, nil
+}
+
+// MergeShards validates a complete shard set and writes the merged row
+// stream to w: every shard of one n-way split of one grid, each exactly
+// once, spliced in shard order — byte-identical to the stream an
+// unsharded run of the same grid would emit (shards are contiguous
+// partitions of the plan, and rows re-encode canonically). The shards
+// may be given in any order.
+func MergeShards(w io.Writer, shards []ShardFile) error {
+	if len(shards) == 0 {
+		return fmt.Errorf("sweep: no shards to merge")
+	}
+	first := shards[0].Header
+	seen := map[int]bool{}
+	for _, s := range shards {
+		h := s.Header
+		if h.Of != first.Of {
+			return fmt.Errorf("sweep: mixed shard sets: %d-way and %d-way", first.Of, h.Of)
+		}
+		if h.Grid != first.Grid {
+			return fmt.Errorf("sweep: shard %d/%d is from a different grid (digest %s, want %s)",
+				h.Shard, h.Of, h.Grid, first.Grid)
+		}
+		if seen[h.Shard] {
+			return fmt.Errorf("sweep: shard %d/%d given twice", h.Shard, h.Of)
+		}
+		seen[h.Shard] = true
+	}
+	if len(shards) != first.Of {
+		missing := []int{}
+		for i := 1; i <= first.Of; i++ {
+			if !seen[i] {
+				missing = append(missing, i)
+			}
+		}
+		return fmt.Errorf("sweep: incomplete shard set: have %d of %d (missing %v)", len(shards), first.Of, missing)
+	}
+	ordered := append([]ShardFile(nil), shards...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Header.Shard < ordered[j].Header.Shard })
+	for _, s := range ordered {
+		for _, row := range s.Rows {
+			if err := pipeline.EncodeRow(w, row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
