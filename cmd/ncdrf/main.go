@@ -14,6 +14,7 @@
 //	ncdrf fig9 [flags]                Figure 9 (memory traffic density)
 //	ncdrf all [flags]                 every table and figure
 //	ncdrf sweep [flags]               arbitrary evaluation grid, JSON output
+//	ncdrf curve [flags]               register-sensitivity curves (-regs lo:hi[:step])
 //	ncdrf merge s1 s2 ...             merge 'sweep -shard' outputs into one stream
 //	ncdrf cache -dir <dir> [flags]    inspect/GC a -cache-dir artifact directory
 //	ncdrf schedule -loop <name>       schedule one kernel and print it
@@ -73,6 +74,8 @@ func main() {
 		err = cmdAll(ctx, eng, args)
 	case "sweep":
 		err = cmdSweep(ctx, eng, args)
+	case "curve":
+		err = cmdCurve(ctx, eng, args)
 	case "merge":
 		err = cmdMerge(args)
 	case "cache":
@@ -125,10 +128,15 @@ commands:
   all        all of the above (-cache-dir makes reruns incremental)
   sweep      arbitrary corpus x latency x model x register-size grid,
              streamed as JSON lines in plan order (-lats, -models, -regs,
-             -clusters, -cache-dir; -shard i/n -o file runs one slice of
-             the grid for 'ncdrf merge')
-  merge      splice 'sweep -shard' output files back into the byte-
-             identical unsharded stream
+             -clusters, -cache-dir, -progress; -shard i/n -o file runs
+             one slice of the grid for 'ncdrf merge')
+  curve      register-sensitivity curves over a dense register axis
+             (-regs lo:hi[:step]): per-model fit %, spill ops and
+             performance relative to ideal vs. file size, one base
+             schedule per (loop, machine) group (-csv, -chart, -ndjson,
+             -shard, -from, -stats, -strict, -progress, -cache-dir)
+  merge      splice 'sweep'/'curve' -shard output files back into the
+             byte-identical unsharded stream
   cache      inspect or garbage-collect a -cache-dir artifact directory
              (-dir, -gc, -max-age, -dry-run)
   schedule   modulo-schedule one kernel (-loop name, -lat 3|6)

@@ -19,8 +19,19 @@ var ctx0 = context.Background()
 func testEng() *sweep.Engine { return sweep.New(0) }
 
 // capture runs fn with os.Stdout redirected to a pipe and returns what it
-// printed.
+// printed; the command must succeed.
 func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	out, errRun := captureAny(t, fn)
+	if errRun != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", errRun, out)
+	}
+	return out
+}
+
+// captureAny is capture for commands that are allowed to fail: it
+// returns the captured stdout alongside the command's error.
+func captureAny(t *testing.T, fn func() error) (string, error) {
 	t.Helper()
 	old := os.Stdout
 	r, w, err := os.Pipe()
@@ -37,11 +48,7 @@ func capture(t *testing.T, fn func() error) string {
 	errRun := fn()
 	w.Close()
 	os.Stdout = old
-	out := <-done
-	if errRun != nil {
-		t.Fatalf("command failed: %v\noutput:\n%s", errRun, out)
-	}
-	return out
+	return <-done, errRun
 }
 
 func TestCmdExample(t *testing.T) {
@@ -390,6 +397,212 @@ func readFileT(t *testing.T, p string) string {
 		t.Fatal(err)
 	}
 	return string(data)
+}
+
+// captureStderr runs fn with os.Stderr redirected and returns what it
+// printed there (stdout is captured and discarded via capture).
+func captureStderr(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r)
+		done <- buf.String()
+	}()
+	errRun := fn()
+	w.Close()
+	os.Stderr = old
+	out := <-done
+	if errRun != nil {
+		t.Fatalf("command failed: %v\nstderr:\n%s", errRun, out)
+	}
+	return out
+}
+
+// TestCmdCurveTables drives the default curve rendering and the -stats
+// trailer: the acceptance property is visible in the counters — the
+// base stage is requested and computed exactly once per (loop, machine)
+// group however dense the register axis is.
+func TestCmdCurveTables(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdCurve(ctx0, testEng(), []string{
+			"-kernels-only", "-lats", "6", "-regs", "16:48:16", "-stats"})
+	})
+	for _, want := range []string{
+		"register sensitivity (eval-L6, 44 loops): % of loops allocatable without spilling",
+		"spill memory ops per iteration",
+		"performance relative to ideal",
+		"regs  ideal  unified  partitioned  swapped",
+		"stage base: 44 requests, 44 computed, 0 served from memory",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("curve output missing %q:\n%s", want, out)
+		}
+	}
+	csv := capture(t, func() error {
+		return cmdCurve(ctx0, testEng(), []string{
+			"-kernels-only", "-lats", "6", "-regs", "16,32", "-csv"})
+	})
+	if !strings.HasPrefix(csv, "machine,model,regs,") {
+		t.Fatalf("curve csv malformed:\n%s", csv)
+	}
+	chart := capture(t, func() error {
+		return cmdCurve(ctx0, testEng(), []string{
+			"-kernels-only", "-lats", "6", "-regs", "16:48:16", "-chart"})
+	})
+	if !strings.Contains(chart, "legend:") {
+		t.Fatalf("curve chart missing legend:\n%s", chart)
+	}
+}
+
+// TestCmdCurveShardMergeFrom is the curve acceptance scenario: a
+// 3-shard curve run merges byte-identically into the unsharded -ndjson
+// stream, and -from renders the merged stream without recomputing.
+func TestCmdCurveShardMergeFrom(t *testing.T) {
+	// 16+ registers so every cell converges: the rendering runs below
+	// exit non-zero on failed cells by design (see
+	// TestCmdCurveFailedCellsExitNonZero).
+	args := []string{"-kernels-only", "-lats", "6", "-models", "unified,swapped", "-regs", "16:40:8"}
+	single := capture(t, func() error {
+		return cmdCurve(ctx0, testEng(), append(append([]string{}, args...), "-ndjson"))
+	})
+	sweepOut := capture(t, func() error { return cmdSweep(ctx0, testEng(), append(append([]string{}, args...), "-regs", "16,24,32,40")) })
+	if single != sweepOut {
+		t.Fatalf("curve -ndjson differs from the equivalent sweep stream:\ncurve:\n%s\nsweep:\n%s", single, sweepOut)
+	}
+
+	dir := t.TempDir()
+	var files []string
+	for i := 1; i <= 3; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("cs%d.ndjson", i))
+		files = append(files, p)
+		shardArgs := append(append([]string{}, args...), "-shard", fmt.Sprintf("%d/3", i), "-o", p)
+		if out := capture(t, func() error { return cmdCurve(ctx0, testEng(), shardArgs) }); out != "" {
+			t.Fatalf("sharded curve with -o wrote to stdout: %q", out)
+		}
+	}
+	merged := filepath.Join(dir, "merged.ndjson")
+	capture(t, func() error { return cmdMerge([]string{"-o", merged, files[1], files[2], files[0]}) })
+	if got := readFileT(t, merged); got != single {
+		t.Fatalf("3-shard curve merge differs from the unsharded run:\nmerged:\n%s\nsingle:\n%s", got, single)
+	}
+
+	direct := capture(t, func() error { return cmdCurve(ctx0, testEng(), args) })
+	fromOut := capture(t, func() error { return cmdCurve(ctx0, testEng(), []string{"-from", merged}) })
+	if fromOut != direct {
+		t.Fatalf("-from render differs from the direct run:\nfrom:\n%s\ndirect:\n%s", fromOut, direct)
+	}
+	// A lone shard file must be refused with a pointer at merge.
+	if err := cmdCurve(ctx0, testEng(), []string{"-from", files[0]}); err == nil || !strings.Contains(err.Error(), "merge") {
+		t.Fatalf("-from of a shard file: %v", err)
+	}
+}
+
+// TestCmdCurveFailedCells pins the degraded-curve contract: cells that
+// fail to compile are data (the failed column), so the default run
+// still succeeds with the tables rendered — but -strict turns the
+// condition into the exit status, so a scripted `curve -strict &&
+// publish` cannot treat a degraded curve as clean.
+func TestCmdCurveFailedCells(t *testing.T) {
+	failArgs := []string{"-kernels-only", "-lats", "6", "-models", "ideal,swapped", "-regs", "2"}
+	// One engine for all three invocations: the non-converging spill
+	// loops are deterministic failures, cached by the eval stage, so
+	// only the first run pays for the 400-round divergences.
+	eng := testEng()
+	var out string
+	warn := captureStderr(t, func() error {
+		out = capture(t, func() error { return cmdCurve(ctx0, eng, failArgs) })
+		return nil
+	})
+	if !strings.Contains(out, "register sensitivity") {
+		t.Fatalf("default run must render the tables:\n%s", out)
+	}
+	if !strings.Contains(warn, "-strict makes this fatal") {
+		t.Fatalf("default run must warn about failed cells on stderr:\n%s", warn)
+	}
+	_, err := captureAny(t, func() error {
+		return cmdCurve(ctx0, eng, append(append([]string{}, failArgs...), "-strict"))
+	})
+	if err == nil || !strings.Contains(err.Error(), "failed to compile") {
+		t.Fatalf("-strict with failing cells must error, got: %v", err)
+	}
+	// Matched-population baseline: even with most of the corpus failing
+	// at 2 registers, relative performance must never exceed 1 (a model
+	// cannot beat the ideal baseline over the same loops).
+	csv := capture(t, func() error {
+		return cmdCurve(ctx0, eng, append(append([]string{}, failArgs...), "-csv"))
+	})
+	for _, line := range strings.Split(strings.TrimSpace(csv), "\n")[1:] {
+		cells := strings.Split(line, ",")
+		rel, spill := cells[len(cells)-1], cells[8]
+		if rel != "" {
+			var v float64
+			if _, err := fmt.Sscanf(rel, "%f", &v); err != nil || v > 1.0+1e-9 {
+				t.Fatalf("rel_perf %q exceeds ideal on a failing cell:\n%s", rel, line)
+			}
+		}
+		if strings.HasPrefix(spill, "-") {
+			t.Fatalf("negative spill ops %q on a failing cell:\n%s", spill, line)
+		}
+	}
+}
+
+// TestCmdCurveBadRegsSpecs pins the -regs axis validation.
+func TestCmdCurveBadRegsSpecs(t *testing.T) {
+	for _, bad := range []string{"", "x", "8:", ":8", "8:4", "-8:16", "8:16:0", "8:16:-2", "1:2:3:4", "0:99999999"} {
+		if err := cmdCurve(ctx0, testEng(), []string{"-kernels-only", "-regs", bad}); err == nil {
+			t.Fatalf("-regs %q accepted", bad)
+		}
+	}
+	got, err := parseRegsAxis("8:33:8")
+	if err != nil || fmt.Sprint(got) != "[8 16 24 32]" {
+		t.Fatalf("8:33:8 = %v, %v", got, err)
+	}
+	got, err = parseRegsAxis("8:16")
+	if err != nil || len(got) != 9 {
+		t.Fatalf("8:16 (default step 1) = %v, %v", got, err)
+	}
+}
+
+// TestCmdSweepProgress checks the -progress reporter: a final summary
+// line with unit totals and per-stage hit rates lands on stderr, and
+// none of it leaks into the result stream.
+func TestCmdSweepProgress(t *testing.T) {
+	var stdout string
+	stderr := captureStderr(t, func() error {
+		var err error
+		stdout = capture(t, func() error {
+			return cmdSweep(ctx0, testEng(), []string{
+				"-kernels-only", "-lats", "6", "-models", "swapped", "-regs", "16,32", "-progress"})
+		})
+		return err
+	})
+	if !strings.Contains(stderr, "progress: 88/88 units done (100.0%), 88 emitted") {
+		t.Fatalf("progress summary missing from stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "hit rates: schedule ") || !strings.Contains(stderr, "elapsed ") {
+		t.Fatalf("progress line incomplete:\n%s", stderr)
+	}
+	if strings.Contains(stdout, "progress:") {
+		t.Fatal("progress leaked into the result stream")
+	}
+	// curve shares the reporter.
+	curveErr := captureStderr(t, func() error {
+		capture(t, func() error {
+			return cmdCurve(ctx0, testEng(), []string{
+				"-kernels-only", "-lats", "6", "-models", "swapped", "-regs", "16,32", "-progress"})
+		})
+		return nil
+	})
+	if !strings.Contains(curveErr, "progress: 88/88 units done") {
+		t.Fatalf("curve -progress summary missing:\n%s", curveErr)
+	}
 }
 
 // TestCmdSweepBadShardSpecs checks -shard validation up front.

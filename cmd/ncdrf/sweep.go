@@ -17,6 +17,94 @@ import (
 	"ncdrf/internal/sweep"
 )
 
+// gridFlags bundles the grid-axis flags the sweep and curve commands
+// share (-lats, -models, -clusters); the register axis stays per
+// command because its spec differs (comma list vs. dense range).
+type gridFlags struct {
+	lats     *string
+	models   *string
+	clusters *int
+}
+
+func addGridFlags(fs *flag.FlagSet, defaultModels string) gridFlags {
+	return gridFlags{
+		// Latencies are whole cycles: machine presets take integer latencies,
+		// and parseIntList enforces it (pinned by TestCmdSweepLatsAreIntegers).
+		lats:     fs.String("lats", "3,6", "comma-separated latencies of the floating-point units, in whole cycles"),
+		models:   fs.String("models", defaultModels, "comma-separated models"),
+		clusters: fs.Int("clusters", 2, "clusters per machine (2 = the paper's evaluation machine)"),
+	}
+}
+
+// buildGrid validates the axis flags and assembles the sweep grid; regs
+// is pre-parsed by the caller. Every empty or out-of-range axis errors
+// out here — a silently empty grid is the failure mode Grid.Validate
+// exists for, and the CLI names the flag on top of the axis.
+func (f gridFlags) buildGrid(o corpusOpts, regs []int) (sweep.Grid, error) {
+	var grid sweep.Grid
+	latList, err := parseIntList(*f.lats)
+	if err != nil {
+		return grid, fmt.Errorf("-lats: %w", err)
+	}
+	if len(latList) == 0 {
+		return grid, fmt.Errorf("-lats: no latencies given")
+	}
+	for _, lat := range latList {
+		if lat < 1 {
+			return grid, fmt.Errorf("-lats: latency must be >= 1, got %d", lat)
+		}
+	}
+	if *f.clusters < 1 {
+		return grid, fmt.Errorf("-clusters: must be >= 1, got %d", *f.clusters)
+	}
+	var modelList []core.Model
+	for _, name := range splitList(*f.models) {
+		m, err := core.ParseModel(name)
+		if err != nil {
+			return grid, err
+		}
+		modelList = append(modelList, m)
+	}
+	if len(modelList) == 0 {
+		return grid, fmt.Errorf("-models: no models given")
+	}
+	var machines []*machine.Config
+	for _, lat := range latList {
+		machines = append(machines, experiment.EvalN(*f.clusters, lat))
+	}
+	grid = sweep.Grid{
+		Corpus:   buildCorpus(o),
+		Machines: machines,
+		Models:   modelList,
+		Regs:     regs,
+	}
+	return grid, grid.Validate()
+}
+
+// planShard expands the grid once and applies an optional -shard spec:
+// the full plan feeds both the shard slice and the header digest, so a
+// large grid is never re-expanded per consumer (Plan, PlanDigest and
+// Shard used to each expand it again).
+func planShard(grid sweep.Grid, shardSpec string) (units []sweep.Unit, header *sweep.ShardHeader, err error) {
+	plan := grid.Plan()
+	if shardSpec == "" {
+		return plan, nil, nil
+	}
+	i, n, err := parseShardSpec(shardSpec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-shard: %w", err)
+	}
+	units, err = sweep.ShardOf(plan, i, n)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-shard: %w", err)
+	}
+	header = &sweep.ShardHeader{
+		Shard: i, Of: n, Units: len(units),
+		Grid: grid.PlanDigestOf(plan), Format: sweep.ShardFormatVersion,
+	}
+	return units, header, nil
+}
+
 // cmdSweep runs an arbitrary (corpus x latency x model x register-size)
 // grid on the sweep engine and streams one JSON object per work unit in
 // plan order, making the tool usable for workloads beyond the paper's
@@ -29,37 +117,18 @@ import (
 func cmdSweep(ctx context.Context, eng *sweep.Engine, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	o := corpusFlags(fs)
-	// Latencies are whole cycles: machine presets take integer latencies,
-	// and parseIntList enforces it (pinned by TestCmdSweepLatsAreIntegers).
-	lats := fs.String("lats", "3,6", "comma-separated latencies of the floating-point units, in whole cycles")
-	models := fs.String("models", "ideal,unified,partitioned,swapped", "comma-separated models")
+	gf := addGridFlags(fs, "ideal,unified,partitioned,swapped")
 	regs := fs.String("regs", "32,64", "comma-separated register-file sizes (0 = unlimited)")
-	clusters := fs.Int("clusters", 2, "clusters per machine (2 = the paper's evaluation machine)")
 	stats := fs.Bool("stats", false, "append a cache-stats JSON object (with -o, printed to stdout instead)")
 	shardSpec := fs.String("shard", "", "run only shard I of N of the grid, as I/N (e.g. 2/3); prefixes the output with a header for 'ncdrf merge'")
 	outPath := fs.String("o", "", "write the result stream to this file instead of stdout")
+	progressFlag := fs.Bool("progress", false, "report done/total units, per-stage hit rates and elapsed time on stderr")
 	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := attachCacheDir(eng, *cacheDir); err != nil {
 		return err
-	}
-
-	latList, err := parseIntList(*lats)
-	if err != nil {
-		return fmt.Errorf("-lats: %w", err)
-	}
-	if len(latList) == 0 {
-		return fmt.Errorf("-lats: no latencies given")
-	}
-	for _, lat := range latList {
-		if lat < 1 {
-			return fmt.Errorf("-lats: latency must be >= 1, got %d", lat)
-		}
-	}
-	if *clusters < 1 {
-		return fmt.Errorf("-clusters: must be >= 1, got %d", *clusters)
 	}
 	regList, err := parseIntList(*regs)
 	if err != nil {
@@ -73,54 +142,26 @@ func cmdSweep(ctx context.Context, eng *sweep.Engine, args []string) error {
 			return fmt.Errorf("-regs: sizes must be >= 0 (0 = unlimited), got %d", r)
 		}
 	}
-	var modelList []core.Model
-	for _, name := range splitList(*models) {
-		m, err := core.ParseModel(name)
-		if err != nil {
-			return err
-		}
-		modelList = append(modelList, m)
+	grid, err := gf.buildGrid(o, regList)
+	if err != nil {
+		return err
 	}
-	if len(modelList) == 0 {
-		return fmt.Errorf("-models: no models given")
-	}
-	var machines []*machine.Config
-	for _, lat := range latList {
-		machines = append(machines, experiment.EvalN(*clusters, lat))
+	units, header, err := planShard(grid, *shardSpec)
+	if err != nil {
+		return err
 	}
 
-	grid := sweep.Grid{
-		Corpus:   buildCorpus(o),
-		Machines: machines,
-		Models:   modelList,
-		Regs:     regList,
-	}
-
-	units := grid.Plan()
-	var header *sweep.ShardHeader
-	if *shardSpec != "" {
-		i, n, err := parseShardSpec(*shardSpec)
-		if err != nil {
-			return fmt.Errorf("-shard: %w", err)
-		}
-		if units, err = grid.Shard(i, n); err != nil {
-			return fmt.Errorf("-shard: %w", err)
-		}
-		header = &sweep.ShardHeader{
-			Shard: i, Of: n, Units: len(units),
-			Grid: grid.PlanDigest(), Format: sweep.ShardFormatVersion,
-		}
-	}
-
+	prog := startProgress(*progressFlag, os.Stderr, eng, len(units))
+	defer prog.close()
 	// The stats trailer shares the row stream by default (back-compat),
 	// but with -o it goes to stdout: a shard file must hold exactly a
 	// header plus rows, or merge would reject it.
 	if *outPath != "" {
 		return writeFileAtomic(*outPath, func(w io.Writer) error {
-			return runSweep(ctx, eng, grid, units, header, w, *stats, os.Stdout)
+			return runSweep(ctx, eng, grid, units, header, w, *stats, os.Stdout, prog)
 		})
 	}
-	return runSweep(ctx, eng, grid, units, header, os.Stdout, *stats, os.Stdout)
+	return runSweep(ctx, eng, grid, units, header, os.Stdout, *stats, os.Stdout, prog)
 }
 
 // writeFileAtomic streams fn's output to a temp file next to path and
@@ -172,7 +213,7 @@ func parseShardSpec(s string) (i, n int, err error) {
 // shard header when sharded — in plan order; split out from cmdSweep so
 // tests can capture the stream. A dead output (e.g. a closed pipe)
 // cancels the sweep instead of burning CPU on results nobody will see.
-func runSweep(ctx context.Context, eng *sweep.Engine, grid sweep.Grid, units []sweep.Unit, header *sweep.ShardHeader, w io.Writer, stats bool, statsW io.Writer) error {
+func runSweep(ctx context.Context, eng *sweep.Engine, grid sweep.Grid, units []sweep.Unit, header *sweep.ShardHeader, w io.Writer, stats bool, statsW io.Writer, prog *progress) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	if header != nil {
@@ -182,15 +223,17 @@ func runSweep(ctx context.Context, eng *sweep.Engine, grid sweep.Grid, units []s
 	}
 	enc := json.NewEncoder(w)
 	var encErr error // only written under Sweep's serialized emit
-	err := eng.SweepUnits(ctx, grid, units, func(r sweep.Result) {
+	err := eng.SweepUnitsObserved(ctx, grid, units, func(r sweep.Result) {
 		if encErr != nil {
 			return
 		}
 		if e := enc.Encode(r); e != nil {
 			encErr = e
 			cancel()
+			return
 		}
-	})
+		prog.incEmitted()
+	}, prog.incDone)
 	if encErr != nil {
 		return fmt.Errorf("writing results: %w", encErr)
 	}
@@ -198,30 +241,35 @@ func runSweep(ctx context.Context, eng *sweep.Engine, grid sweep.Grid, units []s
 		return err
 	}
 	if stats {
-		// The legacy cache_* keys describe the schedule stage; the
-		// stage_* keys add the full per-stage picture (computed vs
-		// memory vs disk tier) and the retained entry counts.
-		st := eng.Cache().StageStats()
-		lens := eng.Cache().Lens()
-		obj := map[string]uint64{
-			"cache_requests": st.Schedule.Requests(),
-			"cache_hits":     st.Schedule.Hits,
-			"cache_misses":   st.Schedule.Misses,
-		}
-		for name, cs := range map[string]sweep.CacheStats{
-			"schedule": st.Schedule, "base": st.Base, "eval": st.Eval,
-		} {
-			obj["stage_"+name+"_requests"] = cs.Requests()
-			obj["stage_"+name+"_computed"] = cs.Misses
-			obj["stage_"+name+"_memory_hits"] = cs.Hits
-			obj["stage_"+name+"_disk_hits"] = cs.DiskHits
-		}
-		obj["entries_schedule"] = uint64(lens.Schedule)
-		obj["entries_base"] = uint64(lens.Base)
-		obj["entries_eval"] = uint64(lens.Eval)
-		return json.NewEncoder(statsW).Encode(obj)
+		return writeStatsJSON(eng, statsW)
 	}
 	return nil
+}
+
+// writeStatsJSON emits the -stats object: the legacy cache_* keys
+// describe the schedule stage; the stage_* keys add the full per-stage
+// picture (computed vs memory vs disk tier) and the retained entry
+// counts.
+func writeStatsJSON(eng *sweep.Engine, w io.Writer) error {
+	st := eng.Cache().StageStats()
+	lens := eng.Cache().Lens()
+	obj := map[string]uint64{
+		"cache_requests": st.Schedule.Requests(),
+		"cache_hits":     st.Schedule.Hits,
+		"cache_misses":   st.Schedule.Misses,
+	}
+	for name, cs := range map[string]sweep.CacheStats{
+		"schedule": st.Schedule, "base": st.Base, "eval": st.Eval,
+	} {
+		obj["stage_"+name+"_requests"] = cs.Requests()
+		obj["stage_"+name+"_computed"] = cs.Misses
+		obj["stage_"+name+"_memory_hits"] = cs.Hits
+		obj["stage_"+name+"_disk_hits"] = cs.DiskHits
+	}
+	obj["entries_schedule"] = uint64(lens.Schedule)
+	obj["entries_base"] = uint64(lens.Base)
+	obj["entries_eval"] = uint64(lens.Eval)
+	return json.NewEncoder(w).Encode(obj)
 }
 
 func splitList(s string) []string {

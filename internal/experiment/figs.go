@@ -4,11 +4,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 
 	"ncdrf/internal/core"
 	"ncdrf/internal/ddg"
 	"ncdrf/internal/machine"
-	"ncdrf/internal/perf"
 	"ncdrf/internal/report"
 	"ncdrf/internal/sweep"
 )
@@ -146,8 +146,10 @@ type PerfResult struct {
 }
 
 // Fig8and9 runs the full limited-register pipeline over the corpus for
-// every configuration and model, producing both figures at once (they
-// share all the work).
+// every configuration and model, producing both figures at once. It is
+// a thin projection over the register-sensitivity curve subsystem: each
+// configuration is one point of the (memoized, base-major) PerfCurve,
+// and the figure metrics are the curve's projections.
 func Fig8and9(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, configs []PerfConfig) (*PerfResult, error) {
 	if len(configs) == 0 {
 		configs = PerfConfigs
@@ -155,33 +157,35 @@ func Fig8and9(ctx context.Context, eng *sweep.Engine, corpus []*ddg.Graph, confi
 	res := &PerfResult{Configs: configs}
 	for _, cfg := range configs {
 		m := machine.Eval(cfg.Latency)
-		var perfRow [core.NumModels]float64
-		var densRow [core.NumModels]float64
-		var spillRow [core.NumModels]int
-		ideal, err := ModelRuns(ctx, eng, corpus, m, core.Ideal, cfg.Regs)
+		curve, err := PerfCurve(ctx, eng, corpus, m, []int{cfg.Regs})
 		if err != nil {
 			return nil, err
 		}
+		// The figures have no column for broken cells: a loop that cannot
+		// compile fails the whole figure, as the pre-curve runner did.
+		if err := curve.Err(); err != nil {
+			return nil, err
+		}
 		memPorts := m.CountOfKind(machine.MemPort)
+		var perfRow [core.NumModels]float64
+		var densRow [core.NumModels]float64
+		var spillRow [core.NumModels]int
 		for _, model := range core.Models {
-			runs := ideal
-			if model != core.Ideal {
-				runs, err = ModelRuns(ctx, eng, corpus, m, model, cfg.Regs)
-				if err != nil {
-					return nil, err
-				}
+			pt, ok := curve.Point(m.Name(), model.String(), cfg.Regs)
+			if !ok {
+				return nil, fmt.Errorf("experiment: curve missing cell %s/%v/%d", m.Name(), model, cfg.Regs)
 			}
-			p, err := perf.RelPerformance(ideal, runs)
-			if err != nil {
-				return nil, err
+			rel, ok := curve.RelPerformance(m.Name(), model.String(), cfg.Regs)
+			if !ok {
+				return nil, fmt.Errorf("experiment: no ideal baseline for %s at %d regs", m.Name(), cfg.Regs)
 			}
-			d, err := perf.TrafficDensity(runs, memPorts)
-			if err != nil {
-				return nil, err
+			d := pt.Density(memPorts)
+			if math.IsNaN(d) {
+				return nil, fmt.Errorf("experiment: degenerate traffic density for %s/%v/%d", m.Name(), model, cfg.Regs)
 			}
-			perfRow[model] = p
+			perfRow[model] = rel
 			densRow[model] = d
-			spillRow[model] = perf.SpilledLoops(runs)
+			spillRow[model] = pt.SpillLoops()
 		}
 		res.Performance = append(res.Performance, perfRow)
 		res.Density = append(res.Density, densRow)

@@ -55,9 +55,11 @@ func TestFigCSVGolden(t *testing.T) {
 // (Table 1, Figures 6-9, verification) on one shared engine and asserts
 // the acceptance property of the staged pipeline: the base stage
 // (schedule + lifetimes) is computed once per (loop, machine) and shared
-// by every model, figure and register size, absorbing at least 2x of the
-// base-stage requests — and the schedule stage itself only ever runs for
-// distinct scheduling problems (base schedules and post-spill rounds).
+// by every model, figure and register size. Since the base-major sweep
+// executor, the figure runs share the base at the *plan* level — one
+// request per (loop, machine) group — so total base requests scale with
+// groups (roughly 10x the corpus here), not with evaluated units (the
+// pre-grouping pipeline made one request per eval miss, 20x+).
 func TestPaperPipelineCacheSharing(t *testing.T) {
 	corpus := loops.Kernels()
 	eng := testEng()
@@ -82,9 +84,9 @@ func TestPaperPipelineCacheSharing(t *testing.T) {
 	if st.Base.Requests() == 0 {
 		t.Fatal("pipeline made no base-stage requests")
 	}
-	if st.Base.Requests() < 2*st.Base.Misses {
-		t.Fatalf("base-stage sharing below 2x: %d requests, %d computed",
-			st.Base.Requests(), st.Base.Misses)
+	if st.Base.Requests() > 12*uint64(len(corpus)) {
+		t.Fatalf("base-stage requests scale with units, not groups: %d requests for %d loops",
+			st.Base.Requests(), len(corpus))
 	}
 	// Exactly one base artifact per (loop, machine) pair touched by the
 	// exhibits: 4 Table 1 configs + eval machines at latency 3 and 6.

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func testCurve() *Curve {
+	return &Curve{
+		Title:   "fit vs regs",
+		XHeader: "regs",
+		Xs:      []int{8, 16, 32},
+		Format:  Pct,
+		Series: []CurveSeries{
+			{Name: "unified", Marker: 'u', Values: []float64{25, 50, 100}},
+			{Name: "swapped", Values: []float64{50, math.NaN(), 100}},
+		},
+	}
+}
+
+func TestCurveTableAndCSV(t *testing.T) {
+	c := testCurve()
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fit vs regs", "regs  unified  swapped", "8     25.0%    50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// NaN cells render as "-" regardless of the formatter.
+	if !strings.Contains(out, "16    50.0%    -") {
+		t.Fatalf("NaN cell not dashed:\n%s", out)
+	}
+	buf.Reset()
+	if err := c.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "regs,unified,swapped\n8,25.0%,50.0%\n") {
+		t.Fatalf("csv wrong:\n%s", buf.String())
+	}
+}
+
+func TestCurveChart(t *testing.T) {
+	c := testCurve()
+	var buf bytes.Buffer
+	if err := c.RenderChart(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The default marker is the series' first letter; explicit markers win.
+	if !strings.Contains(out, "u=unified") || !strings.Contains(out, "s=swapped") {
+		t.Fatalf("chart legend wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "regs") {
+		t.Fatalf("chart missing x label:\n%s", out)
+	}
+}
+
+func TestCurveValidation(t *testing.T) {
+	bad := testCurve()
+	bad.Series[0].Values = bad.Series[0].Values[:2]
+	if err := bad.Render(&bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "3 axis points") {
+		t.Fatalf("length mismatch not rejected: %v", err)
+	}
+	if err := (&Curve{Title: "t", Xs: []int{1}}).Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("curve with no series accepted")
+	}
+	if err := (&Curve{Title: "t", Series: []CurveSeries{{Name: "s"}}}).Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("curve with empty axis accepted")
+	}
+}

@@ -344,19 +344,45 @@ func (c *Cache) Base(ctx context.Context, g *ddg.Graph, m *machine.Config, opts 
 // cancellation retries while its own context is live, so one cancelled
 // sweep cannot poison a concurrent one.
 func (c *Cache) Evaluate(ctx context.Context, g *ddg.Graph, m *machine.Config, opts sched.Options, model core.Model, regs int) (*pipeline.ModelResult, error) {
+	key := c.evalKeyOf(g, m, opts, model, regs)
+	return c.evalThrough(ctx, key, m, func() (*pipeline.Base, error) {
+		return c.Base(ctx, g, m, opts)
+	})
+}
+
+// EvaluateBase is Evaluate for a caller that already holds the shared
+// base artifact — the per-unit call of the base-major sweep executor,
+// which requests the base exactly once per (loop, machine) group. The
+// eval stage is still served through the same single-flight and disk
+// tiers; only a full miss consumes b, so a warm store never pays for
+// the per-model chain twice.
+func (c *Cache) EvaluateBase(ctx context.Context, b *pipeline.Base, model core.Model, regs int) (*pipeline.ModelResult, error) {
+	key := c.evalKeyOf(b.Graph, b.Machine, b.Opts, model, regs)
+	return c.evalThrough(ctx, key, b.Machine, func() (*pipeline.Base, error) {
+		return b, nil
+	})
+}
+
+// evalKeyOf normalizes the budget and builds the eval-stage key.
+func (c *Cache) evalKeyOf(g *ddg.Graph, m *machine.Config, opts sched.Options, model core.Model, regs int) evalKey {
 	if model == core.Ideal || regs < 0 {
 		regs = 0 // Ideal ignores the budget; all negatives mean unlimited
 	}
-	key := evalKey{base: c.keyOf(g, m, opts), model: model, regs: regs}
+	return evalKey{base: c.keyOf(g, m, opts), model: model, regs: regs}
+}
+
+// evalThrough serves one eval-stage request through the flight and disk
+// tiers; base supplies the shared base artifact only on a full miss.
+func (c *Cache) evalThrough(ctx context.Context, key evalKey, m *machine.Config, base func() (*pipeline.Base, error)) (*pipeline.ModelResult, error) {
 	return c.evals.do(ctx, key, func() (*pipeline.ModelResult, error) {
 		if res, ok := c.loadEval(key, m); ok {
 			return res, nil
 		}
-		b, err := c.Base(ctx, g, m, opts)
+		b, err := base()
 		if err != nil {
 			return nil, err
 		}
-		res, err := pipeline.Evaluate(ctx, c, b, model, regs)
+		res, err := pipeline.Evaluate(ctx, c, b, key.model, key.regs)
 		if err == nil {
 			c.saveEval(key, res)
 		}

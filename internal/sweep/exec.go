@@ -1,0 +1,188 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+
+	"ncdrf/internal/pipeline"
+)
+
+// This file is the sweep executor: the two-level, base-major plan the
+// engine runs grids with. Execution is grouped (see Group): the unit
+// list is partitioned by (loop, machine), dispatch is group-major so
+// one worker — the first to reach the group — requests the group's
+// shared pipeline.Base exactly once, and every (model, regs) evaluation
+// of the group fans out on the pool consuming that base directly
+// (Cache.EvaluateBase) instead of re-requesting the base stage per
+// unit. A reorder buffer keyed by the unit's original index keeps the
+// emitted stream byte-identical to the flat plan-order stream, so shard
+// files, `ncdrf merge` and PlanDigest compatibility are unaffected by
+// the execution shape.
+
+// Sweep plans the grid and compiles every unit on the worker pool,
+// calling emit once per unit. Emit calls are serialized and follow plan
+// order — results are reordered as workers finish, so the output stream
+// is deterministic and shard outputs merge byte-identically with an
+// unsharded run. Per-unit compile failures are reported inside the
+// Result, not as an error; Sweep's own error is non-nil when ctx is
+// cancelled (in which case not-yet-emittable buffered results are
+// discarded with the rest of the run) or when the grid has an empty
+// axis and could only emit nothing.
+func (e *Engine) Sweep(ctx context.Context, grid Grid, emit func(Result)) error {
+	if err := grid.Validate(); err != nil {
+		return err
+	}
+	return e.SweepUnits(ctx, grid, grid.Plan(), emit)
+}
+
+// groupShared is the per-group cell of one SweepUnits call: the shared
+// base artifact, computed by whichever worker reaches the group first.
+// Units of the group arriving while the leader computes block in the
+// Once — the same wait they would have spent inside the base stage's
+// single-flight — and every unit observes the same (base, err) pair.
+type groupShared struct {
+	once sync.Once
+	base *pipeline.Base
+	err  error
+}
+
+// SweepUnits is Sweep over an explicit unit list — a whole plan or one
+// Shard of it. Units index into grid's Corpus and Machines; emit calls
+// are serialized and follow the order of units.
+//
+// Execution is base-major (two-level): units are dispatched group-major
+// per GroupUnits, the group's base artifact is requested once, and the
+// per-unit evaluations fan out on the pool. Because plan order
+// interleaves a group's units across the whole (model × regs) span, the
+// reorder buffer can hold up to roughly a plan's worth of finished rows
+// in the worst case — rows are small value structs, so a dense
+// corpus-wide curve stays in the tens of megabytes.
+func (e *Engine) SweepUnits(ctx context.Context, grid Grid, units []Unit, emit func(Result)) error {
+	return e.SweepUnitsObserved(ctx, grid, units, emit, nil)
+}
+
+// SweepUnitsObserved is SweepUnits with a per-unit completion hook,
+// called (concurrently) as each unit finishes computing — possibly long
+// before its row is emittable, since group-major completion order runs
+// ahead of plan-order emission. Progress reporters hang off this hook;
+// counting emitted rows instead would underreport by the reorder
+// buffer's depth. done may be nil.
+func (e *Engine) SweepUnitsObserved(ctx context.Context, grid Grid, units []Unit, emit func(Result), done func()) error {
+	groups := GroupUnits(units)
+	order := make([]int, 0, len(units))
+	shared := make([]*groupShared, len(units))
+	states := make([]groupShared, len(groups))
+	for gi := range groups {
+		for _, ui := range groups[gi].Units {
+			order = append(order, ui)
+			shared[ui] = &states[gi]
+		}
+	}
+	out := newReorder(emit)
+	return e.ForEach(ctx, len(order), func(k int) error {
+		ui := order[k]
+		u := units[ui]
+		r := rowFor(grid, u)
+		gs := shared[ui]
+		gs.once.Do(func() {
+			gs.base, gs.err = e.Base(ctx, grid.Corpus[u.Loop], grid.Machines[u.Machine])
+		})
+		var res *pipeline.ModelResult
+		err := gs.err
+		if err == nil {
+			res, err = e.EvaluateBase(ctx, gs.base, u.Model, u.Regs)
+		}
+		if err != nil {
+			// Cancellation is the sweep's error, not the unit's: don't
+			// emit rows a consumer could mistake for compile failures.
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			r.Error = err.Error()
+		} else {
+			r.Fill(res)
+		}
+		if done != nil {
+			done()
+		}
+		out.put(ui, r)
+		return nil
+	})
+}
+
+// sweepUnitsFlat is the pre-grouping executor: every unit independently
+// re-requests its stages through the cache, in unit order. It has no
+// production callers and is kept as the reference implementation for
+// the base-major equivalence property test — the two executors must
+// emit byte-identical streams over any grid and any shard split.
+func (e *Engine) sweepUnitsFlat(ctx context.Context, grid Grid, units []Unit, emit func(Result)) error {
+	out := newReorder(emit)
+	return e.ForEach(ctx, len(units), func(i int) error {
+		u := units[i]
+		r := rowFor(grid, u)
+		res, err := e.Compile(ctx, grid.Corpus[u.Loop], grid.Machines[u.Machine], u.Model, u.Regs)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			r.Error = err.Error()
+		} else {
+			r.Fill(res)
+		}
+		out.put(i, r)
+		return nil
+	})
+}
+
+// rowFor starts the result row of one unit with its cell identity.
+func rowFor(grid Grid, u Unit) Result {
+	g, m := grid.Corpus[u.Loop], grid.Machines[u.Machine]
+	return Result{
+		Loop:    g.LoopName,
+		Machine: m.Name(),
+		Model:   u.Model.String(),
+		Regs:    u.Regs,
+		Trips:   g.TripsOrOne(),
+	}
+}
+
+// reorder serializes out-of-order results back into index order: put
+// buffers each finished row under its original index and releases the
+// longest emittable prefix. Emit calls happen under the lock, so they
+// are serialized exactly like the pre-buffer contract promised.
+type reorder struct {
+	mu      sync.Mutex
+	pending map[int]Result
+	next    int
+	emit    func(Result)
+}
+
+func newReorder(emit func(Result)) *reorder {
+	return &reorder{pending: map[int]Result{}, emit: emit}
+}
+
+func (o *reorder) put(i int, r Result) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.pending[i] = r
+	for {
+		ready, ok := o.pending[o.next]
+		if !ok {
+			return
+		}
+		delete(o.pending, o.next)
+		o.next++
+		o.emit(ready)
+	}
+}
+
+// Rows runs the grid and collects the emitted stream, in plan order —
+// the convenience form consumers that aggregate (rather than stream)
+// use, e.g. the register-sensitivity curve builder.
+func (e *Engine) Rows(ctx context.Context, grid Grid) ([]Result, error) {
+	var out []Result
+	if err := e.Sweep(ctx, grid, func(r Result) { out = append(out, r) }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

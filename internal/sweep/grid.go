@@ -1,11 +1,9 @@
 package sweep
 
 import (
-	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"sync"
 
 	"ncdrf/internal/core"
 	"ncdrf/internal/ddg"
@@ -42,6 +40,23 @@ type unitKey struct {
 	machine string
 	model   core.Model
 	regs    int
+}
+
+// Validate rejects a grid with an empty axis. Such a grid plans zero
+// units, so a sweep over it would emit nothing while appearing to
+// succeed — the classic silently-empty result file. The error names the
+// empty axis. An empty Regs axis is deliberately not an error: Plan
+// documents it as one unlimited register file.
+func (g Grid) Validate() error {
+	switch {
+	case len(g.Corpus) == 0:
+		return fmt.Errorf("sweep: empty grid axis Corpus: no loops to evaluate")
+	case len(g.Machines) == 0:
+		return fmt.Errorf("sweep: empty grid axis Machines: no machine configurations")
+	case len(g.Models) == 0:
+		return fmt.Errorf("sweep: empty grid axis Models: no register-file models")
+	}
+	return nil
 }
 
 // Plan expands the grid into work units, dropping duplicate cells:
@@ -82,10 +97,16 @@ func (g Grid) Plan() []Unit {
 // (model, regs) combination, so shard k+1's base schedules are largely
 // shard k's disk hits.
 func (g Grid) Shard(i, n int) ([]Unit, error) {
+	return ShardOf(g.Plan(), i, n)
+}
+
+// ShardOf is Shard over an already-expanded plan, so a caller that also
+// needs the units (or the plan digest) expands the grid exactly once
+// per invocation instead of once per consumer.
+func ShardOf(units []Unit, i, n int) ([]Unit, error) {
 	if n < 1 || i < 1 || i > n {
 		return nil, fmt.Errorf("sweep: shard %d/%d out of range (want 1 <= i <= n)", i, n)
 	}
-	units := g.Plan()
 	q, r := len(units)/n, len(units)%n
 	lo := (i-1)*q + min(i-1, r)
 	hi := lo + q
@@ -102,7 +123,12 @@ func (g Grid) Shard(i, n int) ([]Unit, error) {
 // digests match; a shard produced from a different corpus, seed or flag
 // set is rejected by `ncdrf merge` instead of being silently spliced in.
 func (g Grid) PlanDigest() string {
-	units := g.Plan()
+	return g.PlanDigestOf(g.Plan())
+}
+
+// PlanDigestOf is PlanDigest over an already-expanded full plan; see
+// ShardOf for why callers pass the units through.
+func (g Grid) PlanDigestOf(units []Unit) string {
 	loopSums := map[int][sha256.Size]byte{}
 	h := sha256.New()
 	fmt.Fprintf(h, "plan %d\n", len(units))
@@ -118,68 +144,46 @@ func (g Grid) PlanDigest() string {
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
+// Group is one base-major execution unit of a plan: every planned unit
+// sharing one (loop, machine) pair. One pipeline.Base serves the whole
+// group — the base schedule and lifetimes are computed once, and the
+// group's (model × regs) fan-out starts from the shared artifact.
+type Group struct {
+	// Loop and Machine index the grid's Corpus and Machines.
+	Loop, Machine int
+	// Units holds the indices (into the grouped unit list) of the
+	// group's members, in that list's order.
+	Units []int
+}
+
+// Groups partitions the grid's plan into base-major groups; see
+// GroupUnits for the grouping contract.
+func (g Grid) Groups() []Group { return GroupUnits(g.Plan()) }
+
+// GroupUnits partitions a unit list — a whole plan or one shard of it —
+// into base-major groups keyed by (loop, machine), ordered by first
+// appearance. A shard of a plan yields partial groups: only the shard's
+// own units, which is exactly what keeps Grid.Shard's contract intact
+// (each shard emits its slice of the plan, base sharing included).
+func GroupUnits(units []Unit) []Group {
+	type gkey struct{ loop, machine int }
+	index := map[gkey]int{}
+	var groups []Group
+	for i, u := range units {
+		k := gkey{u.Loop, u.Machine}
+		gi, ok := index[k]
+		if !ok {
+			gi = len(groups)
+			index[k] = gi
+			groups = append(groups, Group{Loop: u.Loop, Machine: u.Machine})
+		}
+		groups[gi].Units = append(groups[gi].Units, i)
+	}
+	return groups
+}
+
 // Result is the outcome of one work unit: the NDJSON result row of
 // internal/pipeline (see pipeline.Row for the codec and field
 // contract). A unit that fails carries its error in Error with the
 // zero metrics.
 type Result = pipeline.Row
-
-// Sweep plans the grid and compiles every unit on the worker pool,
-// calling emit once per unit. Emit calls are serialized and follow plan
-// order — results are reordered as workers finish, so the output stream
-// is deterministic and shard outputs merge byte-identically with an
-// unsharded run. Per-unit compile failures are reported inside the
-// Result, not as an error; Sweep's own error is non-nil only when ctx
-// is cancelled (in which case not-yet-emittable buffered results are
-// discarded with the rest of the run).
-func (e *Engine) Sweep(ctx context.Context, grid Grid, emit func(Result)) error {
-	return e.SweepUnits(ctx, grid, grid.Plan(), emit)
-}
-
-// SweepUnits is Sweep over an explicit unit list — a whole plan or one
-// Shard of it. Units index into grid's Corpus and Machines; emit calls
-// are serialized and follow the order of units. Buffering is bounded by
-// completion skew: a result waits only while earlier units are still
-// in flight, so memory stays near the pool width in practice.
-func (e *Engine) SweepUnits(ctx context.Context, grid Grid, units []Unit, emit func(Result)) error {
-	var (
-		mu      sync.Mutex
-		pending = map[int]Result{}
-		next    int
-	)
-	return e.ForEach(ctx, len(units), func(i int) error {
-		u := units[i]
-		g, m := grid.Corpus[u.Loop], grid.Machines[u.Machine]
-		r := Result{
-			Loop:    g.LoopName,
-			Machine: m.Name(),
-			Model:   u.Model.String(),
-			Regs:    u.Regs,
-			Trips:   g.TripsOrOne(),
-		}
-		res, err := e.Compile(ctx, g, m, u.Model, u.Regs)
-		if err != nil {
-			// Cancellation is the sweep's error, not the unit's: don't
-			// emit rows a consumer could mistake for compile failures.
-			if cerr := ctx.Err(); cerr != nil {
-				return cerr
-			}
-			r.Error = err.Error()
-		} else {
-			r.Fill(res)
-		}
-		mu.Lock()
-		pending[i] = r
-		for {
-			ready, ok := pending[next]
-			if !ok {
-				break
-			}
-			delete(pending, next)
-			next++
-			emit(ready)
-		}
-		mu.Unlock()
-		return nil
-	})
-}
