@@ -1,0 +1,37 @@
+// Command ncdrf-lint is the repository's invariant checker: a vet-
+// compatible driver for the analyzers in internal/analysis that
+// machine-enforce the rules the sweep/curve/store stack rests on —
+// byte-identical plan-order streams (detrange), immutable pipeline
+// stage artifacts (stagemut), threaded cancellation (ctxflow) and
+// clock/randomness-free deterministic paths (wallclock).
+//
+// Two equivalent invocations:
+//
+//	go build -o ncdrf-lint ./cmd/ncdrf-lint
+//	go vet -vettool=$PWD/ncdrf-lint ./...
+//
+// or standalone (re-executes go vet -vettool on itself):
+//
+//	go run ./cmd/ncdrf-lint ./...
+//
+// Exceptions carry a `//lint:allow <analyzer> -- rationale` directive
+// on or directly above the offending line; DESIGN.md ("Enforced
+// invariants") documents each analyzer's rule.
+package main
+
+import (
+	"ncdrf/internal/analysis/ctxflow"
+	"ncdrf/internal/analysis/detrange"
+	"ncdrf/internal/analysis/stagemut"
+	"ncdrf/internal/analysis/unitchecker"
+	"ncdrf/internal/analysis/wallclock"
+)
+
+func main() {
+	unitchecker.Main(
+		detrange.Analyzer,
+		stagemut.Analyzer,
+		ctxflow.Analyzer,
+		wallclock.Analyzer,
+	)
+}

@@ -1,0 +1,116 @@
+package main_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the checker once per test binary into a temp dir
+// and returns its path.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	exe := filepath.Join(t.TempDir(), "ncdrf-lint")
+	if runtime.GOOS == "windows" {
+		exe += ".exe"
+	}
+	cmd := exec.Command("go", "build", "-o", exe, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/ncdrf-lint: %v\n%s", err, out)
+	}
+	return exe
+}
+
+// writeModule lays out a throwaway single-package module and returns
+// its directory.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module lintsmoke\n\ngo 1.24\n",
+		"a.go":   src,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// vet runs `go vet -vettool=<exe> .` in dir, hermetically (no module
+// downloads), and returns combined output and the error, if any.
+func vet(t *testing.T, exe, dir string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+exe, ".")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOPROXY=off", "GOFLAGS=-mod=mod")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestVettoolFlagsSeededViolation(t *testing.T) {
+	exe := buildLint(t)
+	out, err := vet(t, exe, writeModule(t, `package a
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`))
+	if err == nil {
+		t.Fatalf("go vet exited 0 on a seeded time.Now violation\n%s", out)
+	}
+	if !strings.Contains(out, "time.Now reads the wall clock") {
+		t.Errorf("missing wallclock diagnostic in output:\n%s", out)
+	}
+	if !strings.Contains(out, "[wallclock]") {
+		t.Errorf("diagnostic is not attributed to its analyzer:\n%s", out)
+	}
+}
+
+func TestVettoolCleanPackage(t *testing.T) {
+	exe := buildLint(t)
+	out, err := vet(t, exe, writeModule(t, `package a
+
+func Add(a, b int) int { return a + b }
+`))
+	if err != nil {
+		t.Fatalf("go vet failed on a clean package: %v\n%s", err, out)
+	}
+}
+
+func TestVettoolAllowDirective(t *testing.T) {
+	exe := buildLint(t)
+	out, err := vet(t, exe, writeModule(t, `package a
+
+import "time"
+
+func Stamp() time.Time {
+	//lint:allow wallclock -- smoke test
+	return time.Now()
+}
+`))
+	if err != nil {
+		t.Fatalf("go vet flagged an allowlisted line: %v\n%s", err, out)
+	}
+}
+
+// TestVersionFlag checks the -V=full contract go vet's toolID probe
+// depends on: a single line ending in a hex buildID field.
+func TestVersionFlag(t *testing.T) {
+	exe := buildLint(t)
+	out, err := exec.Command(exe, "-V=full").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-V=full: %v\n%s", err, out)
+	}
+	want := regexp.MustCompile(fmt.Sprintf(`(?m)^%s version devel comments-go-here buildID=[0-9a-f]{64}$`,
+		regexp.QuoteMeta(exe)))
+	if !want.Match(out) {
+		t.Errorf("-V=full output does not match the toolID contract:\n%s", out)
+	}
+}

@@ -161,13 +161,22 @@ func cmdCurve(ctx context.Context, eng *sweep.Engine, args []string) error {
 
 	if *from != "" {
 		// -from only renders: every flag that shapes or observes the
-		// computation is rejected instead of being silently ignored.
-		for flagName, set := range map[string]bool{
-			"-shard": *shardSpec != "", "-ndjson": *ndjson, "-stats": *stats,
-			"-progress": *progressFlag, "-cache-dir": *cacheDir != "",
-		} {
-			if set {
-				return fmt.Errorf("-from renders an existing stream; it cannot be combined with %s", flagName)
+		// computation is rejected instead of being silently ignored. The
+		// conflicts are an ordered slice, not a map, so the error always
+		// names the same flag for the same command line.
+		conflicts := []struct {
+			name string
+			set  bool
+		}{
+			{"-shard", *shardSpec != ""},
+			{"-ndjson", *ndjson},
+			{"-stats", *stats},
+			{"-progress", *progressFlag},
+			{"-cache-dir", *cacheDir != ""},
+		}
+		for _, c := range conflicts {
+			if c.set {
+				return fmt.Errorf("-from renders an existing stream; it cannot be combined with %s", c.name)
 			}
 		}
 		f, err := os.Open(*from)

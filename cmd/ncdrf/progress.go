@@ -40,6 +40,7 @@ func startProgress(enabled bool, w io.Writer, eng *sweep.Engine, total int) *pro
 	if !enabled {
 		return nil
 	}
+	//lint:allow wallclock -- the reporter's whole job is real elapsed time
 	p := &progress{w: w, eng: eng, total: total, start: time.Now(), stop: make(chan struct{})}
 	p.wg.Add(1)
 	go func() {
@@ -99,6 +100,7 @@ func (p *progress) line() {
 	}
 	fmt.Fprintf(p.w, "progress: %d/%d units done (%.1f%%), %d emitted, elapsed %s, hit rates: schedule %s, base %s, eval %s\n",
 		done, p.total, pct, p.emitted.Load(),
+		//lint:allow wallclock -- elapsed time on stderr, never in artifacts
 		time.Since(p.start).Round(time.Second/10),
 		rate(st.Schedule), rate(st.Base), rate(st.Eval))
 }

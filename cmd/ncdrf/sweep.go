@@ -258,13 +258,17 @@ func writeStatsJSON(eng *sweep.Engine, w io.Writer) error {
 		"cache_hits":     st.Schedule.Hits,
 		"cache_misses":   st.Schedule.Misses,
 	}
-	for name, cs := range map[string]sweep.CacheStats{
-		"schedule": st.Schedule, "base": st.Base, "eval": st.Eval,
-	} {
-		obj["stage_"+name+"_requests"] = cs.Requests()
-		obj["stage_"+name+"_computed"] = cs.Misses
-		obj["stage_"+name+"_memory_hits"] = cs.Hits
-		obj["stage_"+name+"_disk_hits"] = cs.DiskHits
+	// An ordered slice, not a map: the stage keys are built (and, were
+	// obj ever streamed directly, emitted) in one fixed order.
+	stages := []struct {
+		name string
+		cs   sweep.CacheStats
+	}{{"schedule", st.Schedule}, {"base", st.Base}, {"eval", st.Eval}}
+	for _, s := range stages {
+		obj["stage_"+s.name+"_requests"] = s.cs.Requests()
+		obj["stage_"+s.name+"_computed"] = s.cs.Misses
+		obj["stage_"+s.name+"_memory_hits"] = s.cs.Hits
+		obj["stage_"+s.name+"_disk_hits"] = s.cs.DiskHits
 	}
 	obj["entries_schedule"] = uint64(lens.Schedule)
 	obj["entries_base"] = uint64(lens.Base)

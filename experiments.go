@@ -41,6 +41,7 @@ func (o CorpusOptions) build() []*ddg.Graph {
 // of cycles allocatable without spilling in 16/32/64 registers, for the
 // four PxLy configurations) and writes it to w.
 func RenderTable1(opts CorpusOptions, w io.Writer) error {
+	//lint:allow ctxflow -- ctx-free public facade: the render call is the root of its call tree
 	res, err := experiment.Table1(context.Background(), sweep.New(0), opts.build())
 	if err != nil {
 		return err
@@ -62,6 +63,7 @@ func RenderFig7(opts CorpusOptions, w io.Writer) error {
 
 func renderCDF(opts CorpusOptions, w io.Writer, dynamic bool) error {
 	corpus := opts.build()
+	//lint:allow ctxflow -- ctx-free public facade: the render call is the root of its call tree
 	ctx, eng := context.Background(), sweep.New(0)
 	for _, lat := range []int{3, 6} {
 		var res *experiment.CDFResult
@@ -88,6 +90,7 @@ func renderCDF(opts CorpusOptions, w io.Writer, dynamic bool) error {
 // 64 registers) and 9 (density of memory traffic) in one pass, since
 // they share all the computation.
 func RenderFig8And9(opts CorpusOptions, w io.Writer) error {
+	//lint:allow ctxflow -- ctx-free public facade: the render call is the root of its call tree
 	res, err := experiment.Fig8and9(context.Background(), sweep.New(0), opts.build(), nil)
 	if err != nil {
 		return err

@@ -1,0 +1,187 @@
+// Package ctxflow machine-enforces the context-threading rule:
+// cancellation is threaded, not conjured. Every work-performing path —
+// the sweep engine, the pipeline stages, the experiment runners, the
+// spill loop — must accept the caller's context.Context and actually
+// consult it, and nothing outside main (and tests) may mint a root
+// context with context.Background or context.TODO: a long-running
+// `ncdrf serve` can only cancel work whose context it handed out.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ncdrf/internal/analysis"
+)
+
+// TargetPackages are the work-performing packages whose exported API
+// must thread contexts. Prefix match, so test units are covered.
+var TargetPackages = []string{
+	"ncdrf/internal/sweep",
+	"ncdrf/internal/pipeline",
+	"ncdrf/internal/experiment",
+	"ncdrf/internal/spill",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag work-dispatching exported functions without a consulted context, and root contexts minted outside main",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	target := inTarget(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		// Rule 1, everywhere but package main: context roots belong to the
+		// process entry point; library code uses the caller's.
+		if pass.Pkg.Name() != "main" {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := analysis.Callee(pass.TypesInfo, call)
+				for _, name := range [...]string{"Background", "TODO"} {
+					if analysis.IsPkgFunc(fn, "context", name) {
+						pass.Reportf(call.Pos(), "context.%s mints a root context outside main; accept and thread the caller's context instead", name)
+					}
+				}
+				return true
+			})
+		}
+		// Rule 2, target packages: exported work dispatchers thread a
+		// context and consult it.
+		if !target {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func inTarget(path string) bool {
+	for _, p := range TargetPackages {
+		if path == p || strings.HasPrefix(path, p+"_") || strings.HasPrefix(path, p+" ") || strings.HasPrefix(path, p+".") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ctxParam, named := contextParam(pass, fd)
+	if ctxParam == nil && !named {
+		// No context parameter at all: only a problem if the function
+		// dispatches work.
+		if what := dispatchesWork(pass, fd.Body); what != "" {
+			pass.Reportf(fd.Name.Pos(), "exported function %s %s but has no context.Context parameter", fd.Name.Name, what)
+		}
+		return
+	}
+	if ctxParam == nil {
+		// Blank context parameter: declared for the API, discarded in fact.
+		pass.Reportf(fd.Name.Pos(), "exported function %s discards its context.Context parameter (blank name); name it and consult it", fd.Name.Name)
+		return
+	}
+	if !consults(pass, fd.Body, ctxParam) {
+		pass.Reportf(fd.Name.Pos(), "exported function %s accepts a context.Context but never consults it", fd.Name.Name)
+	}
+}
+
+// contextParam returns the object of the function's context.Context
+// parameter. named reports whether a context parameter exists at all,
+// so a blank `_ context.Context` is distinguishable from none.
+func contextParam(pass *analysis.Pass, fd *ast.FuncDecl) (obj types.Object, named bool) {
+	for _, field := range fd.Type.Params.List {
+		if !analysis.IsContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		named = true
+		for _, id := range field.Names {
+			if id.Name == "_" {
+				continue
+			}
+			if def := pass.TypesInfo.Defs[id]; def != nil {
+				return def, true
+			}
+		}
+	}
+	return nil, named
+}
+
+// dispatchesWork classifies a body that must be cancellable: it starts
+// goroutines, or it loops over calls into context-aware work (a loop
+// repeatedly invoking functions that themselves take a context is
+// exactly the shape a stuck sweep hangs in). Plain computational loops
+// are not work dispatch.
+func dispatchesWork(pass *analysis.Pass, body *ast.BlockStmt) string {
+	what := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.GoStmt:
+			what = "starts goroutines"
+		case *ast.ForStmt:
+			if loopCallsContextAware(pass, st.Body) {
+				what = "loops over context-aware calls"
+			}
+		case *ast.RangeStmt:
+			if loopCallsContextAware(pass, st.Body) {
+				what = "loops over context-aware calls"
+			}
+		}
+		return true
+	})
+	return what
+}
+
+func loopCallsContextAware(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+		if !ok {
+			return true
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if analysis.IsContextType(sig.Params().At(i).Type()) {
+				found = true
+				break
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// consults reports whether the body references the context parameter
+// at all — checking Done/Err directly or handing it to a callee both
+// count as threading it.
+func consults(pass *analysis.Pass, body *ast.BlockStmt, ctxObj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == ctxObj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"ncdrf/internal/analysis/analysistest"
+	"ncdrf/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer,
+		"ncdrf/internal/sweep", // target package: full dispatcher rules
+		"a",                    // any library package: root-context rule
+		"mainpkg",              // package main: exempt
+	)
+}

@@ -1,0 +1,14 @@
+// Fixture for ctxflow's root-context rule outside the target
+// packages: Background/TODO are flagged in any library package.
+package a
+
+import "context"
+
+func Root() context.Context {
+	return context.Background() // want `context\.Background mints a root context`
+}
+
+func Allowed() context.Context {
+	//lint:allow ctxflow -- fixture: documented ctx-free facade
+	return context.Background()
+}

@@ -1,0 +1,8 @@
+// Test files may mint root contexts freely.
+package a
+
+import "context"
+
+func rootInTest() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,9 @@
+// Package main is the process entry point: minting the root context
+// is exactly its job.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+}

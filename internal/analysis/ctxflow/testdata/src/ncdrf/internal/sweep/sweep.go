@@ -1,0 +1,75 @@
+// Fixture impersonating a work-performing target package: exported
+// dispatchers must accept and consult a context.
+package sweep
+
+import "context"
+
+type Unit struct{ N int }
+
+func work(ctx context.Context, u Unit) error { return ctx.Err() }
+
+// Looping over context-aware calls without a context parameter.
+func RunAll(units []Unit) error { // want `loops over context-aware calls but has no context\.Context parameter`
+	for _, u := range units {
+		if err := work(context.TODO(), u); err != nil { // want `context\.TODO mints a root context`
+			return err
+		}
+	}
+	return nil
+}
+
+// Starting goroutines without a context parameter.
+func Spawn(units []Unit) { // want `starts goroutines but has no context\.Context parameter`
+	for _, u := range units {
+		go func(u Unit) { _ = u }(u)
+	}
+}
+
+// Accepting a context and ignoring it is the same lie with paperwork.
+func Ignore(ctx context.Context, units []Unit) int { // want `accepts a context\.Context but never consults it`
+	total := 0
+	for _, u := range units {
+		total += u.N
+	}
+	return total
+}
+
+// A blank context parameter is discarded by construction.
+func Blank(_ context.Context, units []Unit) int { // want `discards its context\.Context parameter`
+	return len(units)
+}
+
+// The rule satisfied: accepted and threaded. No diagnostic.
+func Threaded(ctx context.Context, units []Unit) error {
+	for _, u := range units {
+		if err := work(ctx, u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// A pure computational loop dispatches no work. No diagnostic.
+func Sum(units []Unit) int {
+	total := 0
+	for _, u := range units {
+		total += u.N
+	}
+	return total
+}
+
+// Unexported helpers are the exported callers' responsibility.
+func spawn(units []Unit) {
+	for _, u := range units {
+		go func(u Unit) { _ = u }(u)
+	}
+}
+
+// An explicit allowlist entry.
+//
+//lint:allow ctxflow -- fixture: sanctioned fire-and-forget
+func Detached(units []Unit) {
+	for _, u := range units {
+		go func(u Unit) { _ = u }(u)
+	}
+}

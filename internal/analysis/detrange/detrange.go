@@ -1,0 +1,154 @@
+// Package detrange enforces the byte-identical-stream contract: no
+// output may depend on Go's randomized map iteration order.
+//
+// The repository's result streams are deterministic by construction —
+// PlanDigest, the reorder buffer and `ncdrf merge` all rely on it — so
+// a `range` over a map whose body reaches an output sink (a writer or
+// encoder, error construction, printing, or an append that is never
+// sorted afterwards) silently breaks the contract one flaky golden
+// diff at a time. The fix is always the same: collect the keys, sort
+// them, iterate the slice.
+package detrange
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"ncdrf/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc:  "flag map iteration whose body reaches an output sink without an intervening sort",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			checkScope(pass, decl)
+		}
+	}
+	return nil
+}
+
+// checkScope inspects one top-level declaration. The declaration is
+// also the scope of the "intervening sort" test: an append inside a
+// map range is excused when the destination slice is passed to a
+// sort.*/slices.Sort* call anywhere in the same declaration.
+func checkScope(pass *analysis.Pass, decl ast.Decl) {
+	sorted := sortedObjects(pass, decl)
+	ast.Inspect(decl, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !analysis.IsMapType(pass.TypesInfo.TypeOf(rng.X)) {
+			return true
+		}
+		if sink := findSink(pass, rng.Body, sorted); sink != "" {
+			pass.Reportf(rng.For, "map iteration order reaches an output sink (%s); iterate a sorted slice of the keys instead", sink)
+		}
+		return true
+	})
+}
+
+// sortedObjects collects every object mentioned in the arguments of a
+// sort call in the declaration; an append destination found here has
+// its order laundered before anything downstream can observe it.
+func sortedObjects(pass *analysis.Pass, decl ast.Decl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(decl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+			for _, arg := range call.Args {
+				analysis.ExprObjects(pass.TypesInfo, arg, out)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// printFuncs are the fmt functions that turn map-ordered visits into
+// observable bytes (or into an error message, which the CLI prints).
+var printFuncs = map[string]bool{
+	"Errorf": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+// findSink returns a description of the first output sink reached in
+// the body of a map range, or "" if the body is order-safe.
+func findSink(pass *analysis.Pass, body *ast.BlockStmt, sorted map[types.Object]bool) string {
+	var sink string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := analysis.Callee(pass.TypesInfo, call); fn != nil {
+			sink = callSink(fn)
+			return true
+		}
+		// append is a builtin: a per-key append publishes the map order
+		// into the slice unless that slice is sorted before use.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && !isSorted(pass, call.Args[0], sorted) {
+				sink = fmt.Sprintf("append to %s, which is never sorted", types.ExprString(call.Args[0]))
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// callSink classifies one resolved call as a sink ("" if benign):
+// error construction and printing by name, writers and encoders by
+// method-name convention (Write*, Encode*).
+func callSink(fn *types.Func) string {
+	if analysis.IsPkgFunc(fn, "errors", "New") {
+		return "errors.New"
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && printFuncs[fn.Name()] {
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Recv() == nil {
+			return "fmt." + fn.Name()
+		}
+	}
+	if recv, ok := analysis.IsMethod(fn); ok {
+		name := fn.Name()
+		if len(name) >= 5 && name[:5] == "Write" || len(name) >= 6 && name[:6] == "Encode" {
+			return fmt.Sprintf("(%s).%s", types.TypeString(recv, nil), name)
+		}
+	}
+	return ""
+}
+
+// isSorted reports whether the append destination's order is laundered
+// by a later sort: any object mentioned in the destination expression
+// also appears in a sort call's arguments within the declaration.
+func isSorted(pass *analysis.Pass, dst ast.Expr, sorted map[types.Object]bool) bool {
+	objs := make(map[types.Object]bool)
+	analysis.ExprObjects(pass.TypesInfo, dst, objs)
+	for obj := range objs {
+		if sorted[obj] {
+			return true
+		}
+	}
+	return false
+}

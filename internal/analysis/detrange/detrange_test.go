@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"ncdrf/internal/analysis/analysistest"
+	"ncdrf/internal/analysis/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, "testdata", detrange.Analyzer, "a")
+}

@@ -1,0 +1,82 @@
+// Fixture for the detrange analyzer: map ranges whose bodies reach
+// output sinks (positive), and the sorted-slice idioms and directives
+// that are exempt (negative).
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Error construction is a sink: which key the error names would vary
+// run to run.
+func errSelect(conflicts map[string]bool) error {
+	for name, set := range conflicts { // want `map iteration order reaches an output sink \(fmt\.Errorf\)`
+		if set {
+			return fmt.Errorf("conflicting flag %s", name)
+		}
+	}
+	return nil
+}
+
+func errorsNew(m map[string]bool) error {
+	for name := range m { // want `map iteration order reaches an output sink \(errors\.New\)`
+		return errors.New("first: " + name)
+	}
+	return nil
+}
+
+// Printing to a writer is a sink.
+func printAll(m map[string]int, w io.Writer) {
+	for k, v := range m { // want `fmt\.Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+type sink struct{}
+
+func (sink) Write(p []byte) (int, error) { return len(p), nil }
+
+// A Write* method on any receiver is a sink.
+func writeMethod(m map[int]int, s sink) {
+	for k := range m { // want `\(a\.sink\)\.Write`
+		s.Write([]byte{byte(k)})
+	}
+}
+
+// Appending per-key without a later sort publishes the map order.
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `append to out, which is never sorted`
+		out = append(out, k)
+	}
+	return out
+}
+
+// The canonical fix: collect, sort, use. No diagnostic.
+func appendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Ranging a slice is ordered by construction. No diagnostic.
+func sliceRange(xs []string, w io.Writer) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}
+
+// An explicit directive waives the rule on the next line.
+func allowed(m map[string]int) error {
+	//lint:allow detrange -- fixture: first-match semantics are fine here
+	for k := range m {
+		return errors.New("first " + k)
+	}
+	return nil
+}

@@ -1,0 +1,10 @@
+// Test files are exempt: golden tests may print maps freely.
+package a
+
+import "fmt"
+
+func rangeInTest(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}

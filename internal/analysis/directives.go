@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suite's one escape hatch: a comment of the form
+//
+//	//lint:allow analyzer1[,analyzer2...] [-- rationale]
+//
+// suppresses those analyzers' diagnostics on the directive's own line
+// (trailing comment) and on the line immediately below it (comment
+// above the offending statement). The directive must name each
+// analyzer explicitly — there is no blanket allow — so every exception
+// is greppable and carries its rationale next to the code it excuses.
+const directivePrefix = "//lint:allow"
+
+// Suppressions indexes every //lint:allow directive in a package, by
+// file, line and analyzer name.
+type Suppressions struct {
+	// byFile: filename -> line of the directive -> analyzer names allowed.
+	byFile map[string]map[int]map[string]bool
+}
+
+// CollectSuppressions scans the files' comments for allow directives.
+// Files must have been parsed with parser.ParseComments.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byFile: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				lines := s.byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					s.byFile[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Allowed reports whether a directive suppresses the named analyzer at
+// pos: the directive sits on the same line or the line directly above.
+func (s *Suppressions) Allowed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	if s == nil || !pos.IsValid() {
+		return false
+	}
+	p := fset.Position(pos)
+	lines := s.byFile[p.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[p.Line][analyzer] || lines[p.Line-1][analyzer]
+}
+
+// parseDirective extracts the analyzer names from one comment, if it is
+// an allow directive. Anything after "--" is the human rationale.
+func parseDirective(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, directivePrefix)
+	if !ok {
+		return nil, false
+	}
+	// Require a separator so "//lint:allowed" or similar is not a match.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false
+	}
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	var names []string
+	for _, f := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		names = append(names, f)
+	}
+	return names, len(names) > 0
+}
+
+func isTestFilename(name string) bool {
+	return strings.HasSuffix(name, "_test.go")
+}

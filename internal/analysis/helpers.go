@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves a call expression to the function or method it
+// invokes, or nil for builtins, conversions and dynamic calls through
+// function-typed values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the package-level function
+// pkgPath.name (not a method).
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// IsMethod reports whether fn is a method, and if so returns its
+// receiver type with any pointer indirection removed.
+func IsMethod(fn *types.Func) (types.Type, bool) {
+	if fn == nil {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, false
+	}
+	return Deref(sig.Recv().Type()), true
+}
+
+// Deref removes one level of pointer indirection, if any.
+func Deref(t types.Type) types.Type {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// NamedOf returns the named type behind t (through aliases and one
+// pointer indirection), or nil.
+func NamedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	n, _ := types.Unalias(Deref(t)).(*types.Named)
+	return n
+}
+
+// IsNamedType reports whether t is (a pointer to) the named type
+// pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	n := NamedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	return IsNamedType(t, "context", "Context")
+}
+
+// IsMapType reports whether t's underlying type is a map.
+func IsMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// ExprObjects appends to dst the objects of every identifier mentioned
+// anywhere inside e (selectors, conversions, composite literals, ...).
+func ExprObjects(info *types.Info, e ast.Expr, dst map[types.Object]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				dst[obj] = true
+			}
+		}
+		return true
+	})
+}

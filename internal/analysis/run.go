@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Finding is one diagnostic tagged with the analyzer that produced
+// it, as delivered to drivers by RunPackage.
+type Finding struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// RunPackage applies every analyzer to one type-checked package,
+// filters the findings through the package's //lint:allow directives
+// and returns them in file/position order. An analyzer error aborts
+// the run: it is a broken analyzer, not a finding.
+//
+// Both drivers — the vet-protocol unitchecker and the analysistest
+// harness — go through this single entry point, so a fixture exercises
+// exactly the suppression and ordering behavior `go vet` will apply.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	sup := CollectSuppressions(fset, files)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				if sup.Allowed(fset, a.Name, d.Pos) {
+					return
+				}
+				out = append(out, Finding{Analyzer: a.Name, Pos: d.Pos, Message: d.Message})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,100 @@
+// Package stagemut machine-enforces DESIGN.md's artifact immutability
+// rule: pipeline stage artifacts (the Base of Parsed → Base →
+// Classified → Allocated → Spilled, and the per-model ModelResult that
+// carries the latter three stages) are immutable after construction
+// and shared — possibly concurrently — by every consumer. Until now
+// the rule was convention; this analyzer flags any write that reaches
+// a stage artifact's fields, or anything hanging off them (the
+// embedded graph, schedule and lifetime vector), outside the
+// constructing package.
+package stagemut
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ncdrf/internal/analysis"
+)
+
+// StagePackage is the constructing package: writes inside it (and its
+// test variants) are the construction the rule permits.
+const StagePackage = "ncdrf/internal/pipeline"
+
+// stageTypes are the artifact types whose fields — and whose fields'
+// fields, all the way down — are frozen after construction.
+var stageTypes = map[string]bool{
+	// The live stage types.
+	"Base":        true,
+	"ModelResult": true,
+	// DESIGN.md stage names, so the rule keeps holding if the collapsed
+	// per-model stages are ever split back out into their own types.
+	"Parsed":     true,
+	"Classified": true,
+	"Allocated":  true,
+	"Spilled":    true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "stagemut",
+	Doc:  "flag writes to pipeline stage artifacts outside the constructing package",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// The constructing package owns its artifacts until it returns them;
+	// the prefix match covers the in-package and external test units.
+	if strings.HasPrefix(pass.Pkg.Path(), StagePackage) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					checkWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, st.X)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWrite walks the written expression's access chain outward-in:
+// if any link — the selector roots, index bases, dereferences — has a
+// stage artifact type, the write lands inside that artifact.
+// Rebinding a whole variable (`b = other`) is fine; `b.Sched = s`,
+// `b.Lifetimes[i].Start = c` and `r.Graph.Nodes[n].Op = op` are not.
+func checkWrite(pass *analysis.Pass, lhs ast.Expr) {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			if t := pass.TypesInfo.TypeOf(e.X); isStageType(t) {
+				pass.Reportf(lhs.Pos(), "write to field %s of immutable pipeline stage artifact %s outside %s",
+					e.Sel.Name, types.TypeString(analysis.Deref(t), nil), StagePackage)
+				return
+			}
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.SliceExpr:
+			lhs = e.X
+		default:
+			return
+		}
+	}
+}
+
+func isStageType(t types.Type) bool {
+	n := analysis.NamedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == StagePackage && stageTypes[obj.Name()]
+}

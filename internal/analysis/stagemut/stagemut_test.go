@@ -1,0 +1,14 @@
+package stagemut_test
+
+import (
+	"testing"
+
+	"ncdrf/internal/analysis/analysistest"
+	"ncdrf/internal/analysis/stagemut"
+)
+
+func TestStagemut(t *testing.T) {
+	// The impersonated pipeline package is both the fixture's dependency
+	// and a negative fixture itself: in-package construction is exempt.
+	analysistest.Run(t, "testdata", stagemut.Analyzer, "stagemut", "ncdrf/internal/pipeline")
+}

@@ -1,0 +1,35 @@
+// Fixture impersonating the real pipeline package: minimal stage
+// artifact types plus in-package construction, which the rule permits
+// (no diagnostics anywhere in this file).
+package pipeline
+
+type Graph struct {
+	Name  string
+	Nodes []Node
+}
+
+type Node struct{ Op int }
+
+type Schedule struct{ II int }
+
+type Base struct {
+	Graph *Graph
+	Sched *Schedule
+	Times map[int]int
+	IDs   []int
+}
+
+type ModelResult struct {
+	Sched *Schedule
+	N     int
+}
+
+// New constructs a Base: writes inside the constructing package are
+// the construction the immutability rule is about.
+func New() *Base {
+	b := &Base{Graph: &Graph{}, Sched: &Schedule{}}
+	b.Times = map[int]int{}
+	b.IDs = append(b.IDs, 0)
+	b.Sched.II = 1
+	return b
+}

@@ -1,0 +1,29 @@
+// Fixture for the stagemut analyzer: writes reaching stage artifacts
+// from outside the constructing package (positive), and rebinding or
+// non-stage writes (negative).
+package a
+
+import "ncdrf/internal/pipeline"
+
+func mutate(b *pipeline.Base, r *pipeline.ModelResult) {
+	b.IDs = nil             // want `write to field IDs of immutable pipeline stage artifact ncdrf/internal/pipeline\.Base`
+	b.Times[3] = 4          // want `write to field Times`
+	b.Graph.Name = "x"      // want `write to field Graph`
+	b.Graph.Nodes[0].Op = 1 // want `write to field Graph`
+	r.N++                   // want `write to field N`
+	r.Sched.II = 2          // want `write to field Sched`
+}
+
+func rebind(b *pipeline.Base) {
+	// Rebinding the variable is not a write into the artifact.
+	b = &pipeline.Base{}
+	_ = b
+	// Schedule is not itself a stage type; a local one is fair game.
+	var local pipeline.Schedule
+	local.II = 3
+}
+
+func allowed(b *pipeline.Base) {
+	//lint:allow stagemut -- fixture: sanctioned construction helper
+	b.IDs = append(b.IDs, 1)
+}

@@ -1,0 +1,315 @@
+// Package unitchecker implements the command-line protocol `go vet
+// -vettool=...` speaks to an analysis driver, on the standard library
+// alone (the module vendors no external dependencies, so the
+// golang.org/x/tools implementation is off the table):
+//
+//	-V=full    describe the executable for build caching
+//	-flags     describe the tool's flags in JSON
+//	unit.cfg   analyze the single compilation unit the JSON config
+//	           file describes (files, import maps, export data)
+//
+// Any other invocation — `ncdrf-lint ./...` or `go run ./cmd/ncdrf-lint
+// ./...` — is the standalone mode: the tool re-executes `go vet
+// -vettool=<itself>` over the given package patterns, so both modes
+// run the identical per-package checker and produce identical output.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"ncdrf/internal/analysis"
+)
+
+// Config mirrors the JSON the go command writes for each compilation
+// unit (see cmd/go/internal/work's buildVetConfig); fields the suite
+// has no use for are kept so the decoder accepts every config.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a vet-compatible checker binary.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	versionFlag := flag.String("V", "", "print version and exit (-V=full, for the go command)")
+	printFlags := flag.Bool("flags", false, "print the tool's flags in JSON (for the go command)")
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `%[1]s enforces the repository's determinism, immutability and
+context-threading invariants (see DESIGN.md, "Enforced invariants").
+
+Usage:
+	go vet -vettool=$(command -v %[1]s) ./...
+	%[1]s ./...            # standalone: re-executes go vet -vettool
+	%[1]s unit.cfg         # single compilation unit (go vet protocol)
+
+Analyzers:
+`, progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "	%-10s %s\n", a.Name, firstLine(a.Doc))
+		}
+		os.Exit(2)
+	}
+	flag.Parse()
+
+	switch {
+	case *versionFlag != "":
+		if *versionFlag != "full" {
+			log.Fatalf("unsupported flag value: -V=%s (use -V=full)", *versionFlag)
+		}
+		printVersion()
+		return
+	case *printFlags:
+		printFlagDefs()
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0], analyzers, *jsonFlag)
+		return
+	}
+	// Standalone mode: let the go command enumerate packages, build
+	// export data and drive this binary per unit.
+	os.Exit(vetSelf(args))
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// printVersion implements -V=full. The go command requires the format
+// `<name> version devel ... buildID=<id>` (or a release version) and
+// uses the ID for build caching, so it is the content hash of the
+// executable: rebuilding the tool invalidates cached vet results.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, h.Sum(nil))
+}
+
+// printFlagDefs implements -flags: the go command queries the tool's
+// flags as JSON before parsing the vet command line.
+func printFlagDefs() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := []jsonFlag{
+		{Name: "json", Bool: true, Usage: "emit diagnostics as JSON"},
+	}
+	data, err := json.MarshalIndent(defs, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// vetSelf re-executes `go vet -vettool=<this binary>` over the given
+// package patterns and returns the exit code to use.
+func vetSelf(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmdArgs := append([]string{"vet", "-vettool=" + exe}, patterns...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		log.Fatal(err)
+	}
+	return 0
+}
+
+// runUnit analyzes one compilation unit per the vet config file and
+// exits: 0 when clean, 1 when findings were reported.
+func runUnit(configFile string, analyzers []*analysis.Analyzer, asJSON bool) {
+	cfg, err := readConfig(configFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The go command expects the facts output file to exist afterwards
+	// and feeds it to dependents; the suite's analyzers are fact-free,
+	// so an empty file is a complete fact set.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency unit: vetted only for facts, never for diagnostics.
+		return
+	}
+
+	fset := token.NewFileSet()
+	findings, err := analyze(fset, cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compiler will report the same breakage with a better
+			// message; stay silent.
+			return
+		}
+		log.Fatal(err)
+	}
+
+	if asJSON {
+		writeJSON(os.Stdout, fset, cfg.ID, analyzers, findings)
+		return
+	}
+	for _, d := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func readConfig(filename string) (*Config, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+// analyze parses and type-checks the unit against the export data the
+// go command prepared, then runs the suite through the shared driver.
+func analyze(fset *token.FileSet, cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Finding, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not an import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tcImporter := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath] // resolve vendoring, etc.
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  tcImporter,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.RunPackage(fset, files, pkg, info, analyzers)
+}
+
+// writeJSON emits the same shape the x/tools unitchecker does:
+// {"pkg-id": {"analyzer": [{"posn": ..., "message": ...}, ...]}}.
+func writeJSON(w io.Writer, fset *token.FileSet, id string, analyzers []*analysis.Analyzer, findings []analysis.Finding) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, d := range findings {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+			Posn:    fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	tree := map[string]map[string][]jsonDiag{id: byAnalyzer}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(tree); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,36 @@
+// Fixture for wallclock's clock and randomness rules, which apply in
+// every non-test package.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func Roll() int {
+	return rand.Intn(6) // want `math/rand\.Intn draws from the shared unseeded source`
+}
+
+// An explicitly seeded generator is deterministic by construction.
+func SeededRoll(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Scheduling primitives observe no clock value. No diagnostic.
+func Tick() *time.Ticker {
+	return time.NewTicker(time.Second)
+}
+
+func Allowed() time.Time {
+	//lint:allow wallclock -- fixture: progress reporting
+	return time.Now()
+}

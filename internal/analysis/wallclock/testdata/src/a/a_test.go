@@ -1,0 +1,8 @@
+// Test files measure time freely.
+package a
+
+import "time"
+
+func stampInTest() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,26 @@
+// Fixture impersonating a deterministic package: key material must
+// not depend on map iteration order.
+package store
+
+import "crypto/sha256"
+
+func DigestUnsorted(m map[string][]byte) [32]byte {
+	h := sha256.New()
+	for _, v := range m { // want `map iteration order feeds a hash`
+		h.Write(v)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// The fix: a caller-ordered key slice drives the hash. No diagnostic.
+func DigestSorted(m map[string][]byte, sortedKeys []string) [32]byte {
+	h := sha256.New()
+	for _, k := range sortedKeys {
+		h.Write(m[k])
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

@@ -1,0 +1,158 @@
+// Package wallclock keeps nondeterministic inputs — wall-clock reads,
+// the shared unseeded math/rand source, and map-ordered hash material —
+// out of the deterministic artifact path. Cache keys, artifact codecs
+// and plan digests must be pure functions of their inputs: a timestamp
+// or random value that leaks into an encoded artifact or a digest
+// poisons the content-addressed store silently and forever.
+//
+// time.Now / time.Since / time.Until and the global math/rand
+// functions are flagged in every non-test package — the progress
+// reporter and the store's age-based GC policy are genuine wall-clock
+// consumers and carry `//lint:allow wallclock` directives.
+// Explicitly seeded generators (rand.New(rand.NewSource(seed)), as in
+// internal/loopgen) are fine: they are deterministic by construction.
+// Additionally, inside the deterministic packages, feeding a hash
+// while ranging over a map is flagged even when detrange's generic
+// sink rules would excuse it.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ncdrf/internal/analysis"
+)
+
+// DeterministicPackages hold digest and key material: pipeline codecs,
+// store keys, sweep digests. Prefix match covers their test units.
+var DeterministicPackages = []string{
+	"ncdrf/internal/pipeline",
+	"ncdrf/internal/store",
+	"ncdrf/internal/sweep",
+}
+
+// wallclockFuncs are the time package's ambient-clock reads.
+// Deliberately not listed: time.NewTicker/After/Sleep, which schedule
+// rather than observe, and the explicit-input time.Unix/Date.
+var wallclockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are the math/rand functions that build an
+// explicitly seeded generator; everything else at package level uses
+// the shared global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "flag wall-clock reads, the global math/rand source, and map-ordered hash material",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	deterministic := inDeterministic(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, st)
+			case *ast.RangeStmt:
+				if deterministic && analysis.IsMapType(pass.TypesInfo.TypeOf(st.X)) {
+					if recv, found := findHashFeed(pass, st.Body); found {
+						pass.Reportf(st.For, "map iteration order feeds a hash (%s); digest material must visit keys in sorted order", recv)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func inDeterministic(path string) bool {
+	for _, p := range DeterministicPackages {
+		if path == p || strings.HasPrefix(path, p+"_") || strings.HasPrefix(path, p+" ") || strings.HasPrefix(path, p+".") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallclockFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock; deterministic paths must not (//lint:allow wallclock for genuine clock consumers)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "%s.%s draws from the shared unseeded source; use an explicitly seeded rand.New(rand.NewSource(seed))", fn.Pkg().Path(), fn.Name())
+		}
+	}
+}
+
+// findHashFeed looks for a call that pushes bytes into a hash state
+// inside a map-range body: a Write/WriteString/Sum method on a
+// receiver that duck-types as hash.Hash (has both Sum and BlockSize).
+func findHashFeed(pass *analysis.Pass, body *ast.BlockStmt) (string, bool) {
+	var recvName string
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// The receiver expression's static type, not the method's declared
+		// receiver: hash.Hash's Write is io.Writer's method, and the
+		// declared receiver would hide the hash.
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selinfo, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selinfo.Kind() != types.MethodVal {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Write", "WriteString", "Sum":
+			if recv := selinfo.Recv(); isHashType(recv) {
+				recvName, found = types.TypeString(recv, nil), true
+			}
+		}
+		return true
+	})
+	return recvName, found
+}
+
+// isHashType duck-types hash.Hash: the method set has both Sum and
+// BlockSize. This catches sha256 et al. without constructing the
+// interface type by hand.
+func isHashType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return hasMethod(t, "Sum") && hasMethod(t, "BlockSize")
+}
+
+func hasMethod(t types.Type, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}

@@ -1,0 +1,15 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"ncdrf/internal/analysis/analysistest"
+	"ncdrf/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer,
+		"a",                    // clock/randomness rules apply everywhere
+		"ncdrf/internal/store", // deterministic package: hash-feed rule too
+	)
+}

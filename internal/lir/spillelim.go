@@ -1,6 +1,8 @@
 package lir
 
 import (
+	"slices"
+
 	"ncdrf/internal/ddg"
 )
 
@@ -37,8 +39,18 @@ func EliminateStackSpills(g *ddg.Graph) (*ddg.Graph, int) {
 
 	remove := map[int]bool{}
 	// reconnect[i] holds extra flow edges to add, expressed in old IDs.
+	// Slots are visited in sorted order: the reconnect edges' order flows
+	// into the rebuilt graph's edge list, and a map-ordered walk here
+	// would make the output graph — and everything scheduled from it —
+	// differ from run to run.
 	var reconnect []ddg.Edge
-	for _, u := range slots {
+	slotIDs := make([]int, 0, len(slots))
+	for id := range slots {
+		slotIDs = append(slotIDs, id)
+	}
+	slices.Sort(slotIDs)
+	for _, id := range slotIDs {
+		u := slots[id]
 		// The paper's pattern is one store with posterior loads of the
 		// same slot. Only eliminate unambiguous single-store slots.
 		if len(u.stores) != 1 || len(u.loads) == 0 {

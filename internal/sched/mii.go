@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"slices"
 
 	"ncdrf/internal/ddg"
 	"ncdrf/internal/machine"
@@ -16,8 +17,16 @@ func ResMII(g *ddg.Graph, m *machine.Config) (int, error) {
 	for _, n := range g.Nodes() {
 		counts[n.Op.FUKind()]++
 	}
+	// Visit the kinds in a fixed order: when a loop needs several kinds
+	// the machine lacks, the error must name the same one every run.
+	kinds := make([]machine.FUKind, 0, len(counts))
+	for kind := range counts {
+		kinds = append(kinds, kind)
+	}
+	slices.Sort(kinds)
 	mii := 1
-	for kind, ops := range counts {
+	for _, kind := range kinds {
+		ops := counts[kind]
 		units := m.CountOfKind(kind)
 		if units == 0 {
 			return 0, fmt.Errorf("sched: machine %s has no %s units but loop %s needs %d",

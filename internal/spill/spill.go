@@ -76,6 +76,7 @@ type Seed struct {
 // Run executes the spill loop on g. regs <= 0 means an unlimited
 // register file: the first schedule is returned untouched.
 func Run(g *ddg.Graph, m *machine.Config, regs int, fit FitFunc, opts sched.Options) (*Result, error) {
+	//lint:allow ctxflow -- Run is the documented ctx-free wrapper; RunSeeded is the threaded form
 	return RunSeeded(context.Background(), nil, g, m, regs, fit, opts, nil)
 }
 

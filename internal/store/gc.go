@@ -190,6 +190,7 @@ func (s *Summary) GC(opt GCOptions) (*GCResult, error) {
 	res := &GCResult{}
 	cutoff := time.Time{}
 	if opt.MaxAge > 0 {
+		//lint:allow wallclock -- -max-age expiry is wall-clock policy; never key or artifact material
 		cutoff = time.Now().Add(-opt.MaxAge)
 	}
 	remove := func(path string, size int64, reason *int) {

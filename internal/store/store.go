@@ -107,6 +107,7 @@ func sweepTemps(root string) {
 	if err != nil {
 		return
 	}
+	//lint:allow wallclock -- stale-temp cleanup is wall-clock policy; never key or artifact material
 	cutoff := time.Now().Add(-tempMaxAge)
 	for _, st := range stages {
 		if !st.IsDir() {

@@ -304,6 +304,7 @@ func (c *Cache) saveEval(key evalKey, res *pipeline.ModelResult) {
 // deterministic, so retrying an unschedulable problem cannot succeed.
 func (c *Cache) Schedule(g *ddg.Graph, m *machine.Config, opts sched.Options) (*sched.Schedule, error) {
 	key := c.keyOf(g, m, opts)
+	//lint:allow ctxflow -- scheduling is deliberately ctx-free: waiters block, results are retained (see the doc comment)
 	return c.scheds.do(context.Background(), key, func() (*sched.Schedule, error) {
 		if s, ok := c.loadSched(key, m); ok {
 			return s, nil

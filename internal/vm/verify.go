@@ -25,6 +25,7 @@ import (
 // (the non-consistent-dual correctness condition), and that spill code
 // preserves semantics.
 func VerifyModel(g *ddg.Graph, m *machine.Config, model core.Model, regs, iters int) error {
+	//lint:allow ctxflow -- VerifyModel is the documented ctx-free wrapper; VerifyModelWith is the threaded form
 	return VerifyModelWith(context.Background(), nil, g, m, model, regs, iters)
 }
 

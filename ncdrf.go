@@ -245,6 +245,7 @@ func Compile(l *Loop, m Machine, model Model, regs int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:allow ctxflow -- Compile is the documented ctx-free facade; CompileAll is the threaded form
 	mr, err := pipeline.Evaluate(context.Background(), nil, b, cm, regs)
 	if err != nil {
 		return nil, err
