@@ -1,0 +1,82 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ncdrf/internal/bench"
+)
+
+// cmdBench runs the in-process benchmark suites and emits one
+// schema-versioned BENCH_<n>.json trajectory point (see internal/bench
+// and README "Benchmarks"). With -against it additionally gates on a
+// committed baseline: more than -max-regress percent throughput loss or
+// allocation growth in any shared suite fails the command — the CI
+// bench job runs exactly that against BENCH_1.json.
+func cmdBench(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced benchtime and counters grid (CI smoke)")
+	benchtime := fs.Duration("benchtime", time.Second, "minimum measured duration per suite")
+	outPath := fs.String("o", "", "output file; '-' = stdout (default: next free BENCH_<n>.json)")
+	against := fs.String("against", "", "baseline BENCH_*.json to compare against")
+	maxRegress := fs.Float64("max-regress", 20, "with -against: max tolerated regression, percent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	bt := *benchtime
+	if *quick && bt > 100*time.Millisecond {
+		bt = 100 * time.Millisecond
+	}
+
+	suites, err := bench.Suites()
+	if err != nil {
+		return err
+	}
+	results, err := bench.RunSuites(suites, bt, func(r bench.SuiteResult) {
+		fmt.Fprintf(os.Stderr, "bench %-16s %10d iters  %12.0f ns/op  %8.0f allocs/op  %12.0f %s/sec\n",
+			r.Name, r.Iterations, r.NsPerOp, r.AllocsPerOp, r.UnitsPerSec, r.Unit)
+	})
+	if err != nil {
+		return err
+	}
+	counters, err := bench.Counters(ctx, *quick)
+	if err != nil {
+		return err
+	}
+	report := bench.NewReport(results, counters, *quick)
+
+	path := *outPath
+	if path == "" {
+		if path, err = bench.NextPath("."); err != nil {
+			return err
+		}
+	}
+	if path == "-" {
+		if err := report.Write(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		if err := writeFileAtomic(path, func(w io.Writer) error {
+			return report.Write(w)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", path)
+	}
+
+	if *against != "" {
+		base, err := bench.Load(*against)
+		if err != nil {
+			return err
+		}
+		if err := bench.Compare(report, base, *maxRegress); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench: within %.0f%% of %s\n", *maxRegress, *against)
+	}
+	return nil
+}

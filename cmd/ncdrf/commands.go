@@ -179,6 +179,7 @@ func cmdFigPerf(ctx context.Context, eng *sweep.Engine, args []string, wantPerf,
 func cmdAll(ctx context.Context, eng *sweep.Engine, args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	o := corpusFlags(fs)
+	pf := addProfileFlags(fs)
 	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -186,6 +187,20 @@ func cmdAll(ctx context.Context, eng *sweep.Engine, args []string) error {
 	if err := attachCacheDir(eng, *cacheDir); err != nil {
 		return err
 	}
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	err = runAll(ctx, eng, o)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	return err
+}
+
+// runAll is cmdAll's body, split out so the profile stop function
+// brackets exactly the measured work.
+func runAll(ctx context.Context, eng *sweep.Engine, o corpusOpts) error {
 	corpus := buildCorpus(o)
 	fmt.Printf("corpus: %d loops\n\n", len(corpus))
 

@@ -137,6 +137,7 @@ func cmdCurve(ctx context.Context, eng *sweep.Engine, args []string) error {
 	stats := fs.Bool("stats", false, "append the per-stage cache counters (tables: trailer; -ndjson/-shard: JSON object on stdout)")
 	strict := fs.Bool("strict", false, "exit non-zero when any grid cell failed to compile (default: render the failed column and warn on stderr)")
 	progressFlag := fs.Bool("progress", false, "report done/total units, per-stage hit rates and elapsed time on stderr")
+	pf := addProfileFlags(fs)
 	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -214,35 +215,45 @@ func cmdCurve(ctx context.Context, eng *sweep.Engine, args []string) error {
 		return err
 	}
 
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
 	prog := startProgress(*progressFlag, os.Stderr, eng, len(units))
 	defer prog.close()
 
-	// Streaming modes share the sweep command's writer: a sharded curve
-	// file is a sweep shard file, which is exactly what lets `ncdrf
-	// merge` splice curve shards back into the unsharded -ndjson stream.
-	if header != nil || *ndjson {
-		return withOut(func(w io.Writer) error {
-			return runSweep(ctx, eng, grid, units, header, w, *stats, os.Stdout, prog)
-		})
-	}
+	err = func() error {
+		// Streaming modes share the sweep command's writer: a sharded curve
+		// file is a sweep shard file, which is exactly what lets `ncdrf
+		// merge` splice curve shards back into the unsharded -ndjson stream.
+		if header != nil || *ndjson {
+			return withOut(func(w io.Writer) error {
+				return runSweep(ctx, eng, grid, units, header, w, *stats, os.Stdout, prog)
+			})
+		}
 
-	var rows []pipeline.Row
-	if err := eng.SweepUnitsObserved(ctx, grid, units, func(r sweep.Result) {
-		rows = append(rows, r)
-		prog.incEmitted()
-	}, prog.incDone); err != nil {
-		return err
+		var rows []pipeline.Row
+		if err := eng.SweepUnitsObserved(ctx, grid, units, func(r sweep.Result) {
+			rows = append(rows, r)
+			prog.incEmitted()
+		}, prog.incDone); err != nil {
+			return err
+		}
+		curve := experiment.BuildCurve(rows)
+		if err := withOut(func(w io.Writer) error { return render(curve, w) }); err != nil {
+			return err
+		}
+		if *stats {
+			// Same renderer as the `ncdrf all` trailer, so the CI contract
+			// (one base schedule per (loop, machine) group) greps one format.
+			fmt.Printf("\n%s\n", eng.Cache().StageStats())
+		}
+		return curveErr(curve, *strict)
+	}()
+	if perr := stopProf(); err == nil {
+		err = perr
 	}
-	curve := experiment.BuildCurve(rows)
-	if err := withOut(func(w io.Writer) error { return render(curve, w) }); err != nil {
-		return err
-	}
-	if *stats {
-		// Same renderer as the `ncdrf all` trailer, so the CI contract
-		// (one base schedule per (loop, machine) group) greps one format.
-		fmt.Printf("\n%s\n", eng.Cache().StageStats())
-	}
-	return curveErr(curve, *strict)
+	return err
 }
 
 // curveErr reports a curve's absorbed compile failures. A cell that

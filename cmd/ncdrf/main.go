@@ -15,6 +15,7 @@
 //	ncdrf all [flags]                 every table and figure
 //	ncdrf sweep [flags]               arbitrary evaluation grid, JSON output
 //	ncdrf curve [flags]               register-sensitivity curves (-regs lo:hi[:step])
+//	ncdrf bench [flags]               benchmark suites -> BENCH_<n>.json
 //	ncdrf merge s1 s2 ...             merge 'sweep -shard' outputs into one stream
 //	ncdrf cache -dir <dir> [flags]    inspect/GC a -cache-dir artifact directory
 //	ncdrf schedule -loop <name>       schedule one kernel and print it
@@ -76,6 +77,8 @@ func main() {
 		err = cmdSweep(ctx, eng, args)
 	case "curve":
 		err = cmdCurve(ctx, eng, args)
+	case "bench":
+		err = cmdBench(ctx, args)
 	case "merge":
 		err = cmdMerge(args)
 	case "cache":
@@ -135,6 +138,9 @@ commands:
              performance relative to ideal vs. file size, one base
              schedule per (loop, machine) group (-csv, -chart, -ndjson,
              -shard, -from, -stats, -strict, -progress, -cache-dir)
+  bench      run the in-process benchmark suites and write a
+             schema-versioned BENCH_<n>.json trajectory point (-quick,
+             -benchtime, -o, -against FILE -max-regress PCT)
   merge      splice 'sweep'/'curve' -shard output files back into the
              byte-identical unsharded stream
   cache      inspect or garbage-collect a -cache-dir artifact directory

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileFlags attaches the pprof flags the long-running commands
+// (sweep, curve, all) share, so hot-path work starts from a profile
+// instead of a guess — see README "Profiling a run".
+type profileFlags struct {
+	cpu *string
+	mem *string
+}
+
+func addProfileFlags(fs *flag.FlagSet) profileFlags {
+	return profileFlags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write an allocation profile to this file on exit"),
+	}
+}
+
+// start begins CPU profiling if requested and returns a stop function
+// that finishes both profiles; call it exactly once, after the command's
+// real work (defer works: profiles of a failed run are still useful).
+func (p profileFlags) start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if *p.cpu != "" {
+		cpuFile, err = os.Create(*p.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if *p.mem != "" {
+			f, err := os.Create(*p.mem)
+			if err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+			defer f.Close()
+			// An up-to-date heap profile, like `go test -memprofile`.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -14,6 +14,7 @@ import (
 	"ncdrf/internal/core"
 	"ncdrf/internal/experiment"
 	"ncdrf/internal/machine"
+	"ncdrf/internal/pipeline"
 	"ncdrf/internal/sweep"
 )
 
@@ -123,6 +124,7 @@ func cmdSweep(ctx context.Context, eng *sweep.Engine, args []string) error {
 	shardSpec := fs.String("shard", "", "run only shard I of N of the grid, as I/N (e.g. 2/3); prefixes the output with a header for 'ncdrf merge'")
 	outPath := fs.String("o", "", "write the result stream to this file instead of stdout")
 	progressFlag := fs.Bool("progress", false, "report done/total units, per-stage hit rates and elapsed time on stderr")
+	pf := addProfileFlags(fs)
 	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -151,17 +153,26 @@ func cmdSweep(ctx context.Context, eng *sweep.Engine, args []string) error {
 		return err
 	}
 
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
 	prog := startProgress(*progressFlag, os.Stderr, eng, len(units))
 	defer prog.close()
 	// The stats trailer shares the row stream by default (back-compat),
 	// but with -o it goes to stdout: a shard file must hold exactly a
 	// header plus rows, or merge would reject it.
 	if *outPath != "" {
-		return writeFileAtomic(*outPath, func(w io.Writer) error {
+		err = writeFileAtomic(*outPath, func(w io.Writer) error {
 			return runSweep(ctx, eng, grid, units, header, w, *stats, os.Stdout, prog)
 		})
+	} else {
+		err = runSweep(ctx, eng, grid, units, header, os.Stdout, *stats, os.Stdout, prog)
 	}
-	return runSweep(ctx, eng, grid, units, header, os.Stdout, *stats, os.Stdout, prog)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	return err
 }
 
 // writeFileAtomic streams fn's output to a temp file next to path and
@@ -221,13 +232,14 @@ func runSweep(ctx context.Context, eng *sweep.Engine, grid sweep.Grid, units []s
 			return fmt.Errorf("writing shard header: %w", err)
 		}
 	}
-	enc := json.NewEncoder(w)
 	var encErr error // only written under Sweep's serialized emit
 	err := eng.SweepUnitsObserved(ctx, grid, units, func(r sweep.Result) {
 		if encErr != nil {
 			return
 		}
-		if e := enc.Encode(r); e != nil {
+		// The pooled row encoder (internal/pipeline) produces the same
+		// bytes json.Encoder would, without a fresh encoder per row.
+		if e := pipeline.EncodeRow(w, r); e != nil {
 			encErr = e
 			cancel()
 			return

@@ -1,0 +1,194 @@
+// Package bench is the in-process benchmark-trajectory harness behind
+// `ncdrf bench`: it times the pipeline's hot stages with testing.B-style
+// calibrated loops and emits a schema-versioned report (BENCH_<n>.json)
+// so every PR appends a point to the repository's performance curve and
+// CI can fail a regression against the committed baseline.
+//
+// The harness runs outside `go test`, so it measures with the ambient
+// clock and the runtime's allocation counters directly. Wall-clock reads
+// are confined to nowMono below and never reach a cache key, artifact or
+// result row — timing is the product here, not a contaminant.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"ncdrf/internal/core"
+	"ncdrf/internal/lifetime"
+	"ncdrf/internal/loops"
+	"ncdrf/internal/machine"
+	"ncdrf/internal/pipeline"
+	"ncdrf/internal/regalloc"
+	"ncdrf/internal/sched"
+	"ncdrf/internal/spill"
+)
+
+// Suite is one named timing loop: Run executes n iterations of the
+// workload; Units is the number of work items one iteration completes
+// (e.g. kernels scheduled), letting the report derive a rate
+// (units_per_sec) that stays comparable when the loop body changes
+// shape.
+type Suite struct {
+	Name  string
+	Unit  string // what Units counts: "schedules", "rows", ...
+	Units int
+	Run   func(n int) error
+}
+
+// nowMono reads the monotonic clock for interval measurement.
+func nowMono() time.Time {
+	//lint:allow wallclock -- benchmark timing is the harness's product; never keyed, persisted values are durations
+	return time.Now()
+}
+
+// measure runs the suite's loop with testing.B-style calibration: grow
+// the iteration count until one timed run lasts at least benchtime,
+// then report per-op time and per-op allocation deltas from the
+// runtime's counters.
+func measure(s Suite, benchtime time.Duration) (SuiteResult, error) {
+	res := SuiteResult{Name: s.Name, Unit: s.Unit, UnitsPerOp: s.Units}
+	n := 1
+	for {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t0 := nowMono()
+		if err := s.Run(n); err != nil {
+			return res, fmt.Errorf("bench %s: %w", s.Name, err)
+		}
+		elapsed := nowMono().Sub(t0)
+		runtime.ReadMemStats(&after)
+
+		if elapsed >= benchtime || n >= 1e9 {
+			res.Iterations = n
+			res.NsPerOp = float64(elapsed.Nanoseconds()) / float64(n)
+			res.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(n)
+			res.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(n)
+			if res.NsPerOp > 0 {
+				res.UnitsPerSec = float64(s.Units) * 1e9 / res.NsPerOp
+			}
+			return res, nil
+		}
+		// Predict the iteration count that lands past benchtime, growing
+		// at least 2x and at most 100x per round (testing.B's discipline,
+		// which keeps one mispredicted round from running for minutes).
+		next := n * 100
+		if elapsed > 0 {
+			predicted := int(float64(n) * 1.2 * float64(benchtime) / float64(elapsed))
+			if predicted < next {
+				next = predicted
+			}
+		}
+		if next < n*2 {
+			next = n * 2
+		}
+		n = next
+	}
+}
+
+// Suites builds the standard suite list over the curated kernel corpus.
+// Every suite is self-contained: setup (scheduling inputs, preparing
+// lifetimes) happens here, outside the timed loop.
+func Suites() ([]Suite, error) {
+	ks := loops.Kernels()
+	m := machine.Eval(6)
+
+	// first-fit-alloc input: the kernels' lifetimes at their schedules.
+	type allocJob struct {
+		lts []lifetime.Lifetime
+		ii  int
+	}
+	var jobs []allocJob
+	for _, g := range ks {
+		s, err := sched.Run(g, m, sched.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bench setup: %s: %w", g.LoopName, err)
+		}
+		jobs = append(jobs, allocJob{lifetime.Compute(s), s.II})
+	}
+
+	spillG, ok := loops.KernelByName("lfk7-eos")
+	if !ok {
+		return nil, fmt.Errorf("bench setup: kernel lfk7-eos missing")
+	}
+
+	row := pipeline.Row{Loop: "daxpy", Machine: "eval-L6", Model: "swapped",
+		Regs: 32, II: 2, Stages: 5, Trips: 100, MemOps: 3}
+
+	return []Suite{
+		{
+			// The headline suite: the CI regression gate and the
+			// acceptance criteria key on its units_per_sec
+			// (schedules/sec) and allocs_per_op.
+			Name: "modulo-schedule", Unit: "schedules", Units: len(ks),
+			Run: func(n int) error {
+				for i := 0; i < n; i++ {
+					for _, g := range ks {
+						if _, err := sched.Run(g, m, sched.Options{}); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "first-fit-alloc", Unit: "allocations", Units: len(jobs),
+			Run: func(n int) error {
+				for i := 0; i < n; i++ {
+					for _, j := range jobs {
+						if _, err := regalloc.FirstFit(j.lts, j.ii); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "spill-pipeline", Unit: "pipelines", Units: 1,
+			Run: func(n int) error {
+				for i := 0; i < n; i++ {
+					res, err := spill.Run(spillG, m, 24, core.Fit(core.Unified), sched.Options{})
+					if err != nil {
+						return err
+					}
+					if res.SpilledValues == 0 {
+						return fmt.Errorf("spill-pipeline: expected spilling")
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "row-encode", Unit: "rows", Units: 1,
+			Run: func(n int) error {
+				for i := 0; i < n; i++ {
+					if err := pipeline.EncodeRow(io.Discard, row); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+	}, nil
+}
+
+// RunSuites measures every suite at the given benchtime, in order.
+func RunSuites(suites []Suite, benchtime time.Duration, progress func(SuiteResult)) ([]SuiteResult, error) {
+	var out []SuiteResult
+	for _, s := range suites {
+		r, err := measure(s, benchtime)
+		if err != nil {
+			return nil, err
+		}
+		if progress != nil {
+			progress(r)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

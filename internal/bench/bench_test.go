@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMeasureReportsSaneNumbers runs one tiny suite through the
+// calibration loop and sanity-checks every derived field.
+func TestMeasureReportsSaneNumbers(t *testing.T) {
+	calls := 0
+	s := Suite{
+		Name: "spin", Unit: "spins", Units: 3,
+		Run: func(n int) error {
+			calls += n
+			x := 0
+			for i := 0; i < n*1000; i++ {
+				x += i
+			}
+			if x < 0 {
+				t.Fatal("unreachable")
+			}
+			return nil
+		},
+	}
+	r, err := measure(s, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "spin" || r.Unit != "spins" || r.UnitsPerOp != 3 {
+		t.Fatalf("identity fields wrong: %+v", r)
+	}
+	if r.Iterations < 1 || calls < r.Iterations {
+		t.Fatalf("iterations=%d calls=%d", r.Iterations, calls)
+	}
+	if r.NsPerOp <= 0 || r.UnitsPerSec <= 0 {
+		t.Fatalf("non-positive rates: %+v", r)
+	}
+	if r.AllocsPerOp < 0 || r.BytesPerOp < 0 {
+		t.Fatalf("negative alloc counters: %+v", r)
+	}
+}
+
+// TestSuitesRunQuick executes every standard suite for a minimal
+// benchtime: the harness must complete and produce all suites in order.
+func TestSuitesRunQuick(t *testing.T) {
+	suites, err := Suites()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunSuites(suites, time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"modulo-schedule", "first-fit-alloc", "spill-pipeline", "row-encode"}
+	if len(results) != len(want) {
+		t.Fatalf("got %d suites, want %d", len(results), len(want))
+	}
+	for i, r := range results {
+		if r.Name != want[i] {
+			t.Fatalf("suite %d = %s, want %s", i, r.Name, want[i])
+		}
+		if r.NsPerOp <= 0 {
+			t.Fatalf("%s: ns_per_op = %v", r.Name, r.NsPerOp)
+		}
+	}
+}
+
+// TestReportRoundTrip pins the document schema: Write then Load must
+// reproduce the report, and the schema marker gates Load.
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rep := NewReport([]SuiteResult{
+		{Name: "modulo-schedule", Iterations: 10, NsPerOp: 1000, AllocsPerOp: 5,
+			BytesPerOp: 100, Unit: "schedules", UnitsPerOp: 44, UnitsPerSec: 44e6},
+	}, map[string]uint64{"stage_schedule_requests": 7}, true)
+	rep.Baseline = &Baseline{Note: "seed", Suites: rep.Suites}
+
+	path := filepath.Join(dir, "BENCH_1.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion || len(got.Suites) != 1 || got.Suites[0].Name != "modulo-schedule" {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Counters["stage_schedule_requests"] != 7 {
+		t.Fatalf("counters lost: %+v", got.Counters)
+	}
+	if got.Baseline == nil || got.Baseline.Note != "seed" {
+		t.Fatalf("baseline lost: %+v", got.Baseline)
+	}
+
+	// An unknown schema version must be rejected.
+	raw, _ := os.ReadFile(path)
+	bad := strings.Replace(string(raw), `"ncdrf_bench": 1`, `"ncdrf_bench": 99`, 1)
+	badPath := filepath.Join(dir, "bad.json")
+	os.WriteFile(badPath, []byte(bad), 0o644)
+	if _, err := Load(badPath); err == nil {
+		t.Fatal("Load accepted an unknown schema version")
+	}
+}
+
+// TestCommittedBaselineParses guards the repository's committed
+// trajectory point: BENCH_1.json must stay loadable by this code and
+// keep its headline suite and embedded pre-optimization baseline.
+func TestCommittedBaselineParses(t *testing.T) {
+	rep, err := Load("../../BENCH_1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := rep.Suite("modulo-schedule")
+	if ms == nil {
+		t.Fatal("BENCH_1.json lost the modulo-schedule suite")
+	}
+	if rep.Baseline == nil || len(rep.Baseline.Suites) == 0 {
+		t.Fatal("BENCH_1.json lost the embedded pre-optimization baseline")
+	}
+	// The acceptance claim of the optimization PR, kept machine-checked:
+	// >= 1.5x schedules/sec or >= 40% fewer allocs/op vs the baseline.
+	var base *SuiteResult
+	for i := range rep.Baseline.Suites {
+		if rep.Baseline.Suites[i].Name == "modulo-schedule" {
+			base = &rep.Baseline.Suites[i]
+		}
+	}
+	if base == nil {
+		t.Fatal("baseline lacks modulo-schedule")
+	}
+	speedup := ms.UnitsPerSec / base.UnitsPerSec
+	allocDrop := 1 - ms.AllocsPerOp/base.AllocsPerOp
+	if speedup < 1.5 && allocDrop < 0.40 {
+		t.Fatalf("recorded point no longer beats the baseline: %.2fx, %.0f%% fewer allocs",
+			speedup, allocDrop*100)
+	}
+}
+
+// TestCompare exercises the CI gate in both directions.
+func TestCompare(t *testing.T) {
+	base := &Report{Schema: SchemaVersion, Suites: []SuiteResult{
+		{Name: "modulo-schedule", Unit: "schedules", UnitsPerSec: 1000, AllocsPerOp: 100},
+		{Name: "retired-suite", Unit: "x", UnitsPerSec: 50, AllocsPerOp: 5},
+	}}
+	ok := &Report{Schema: SchemaVersion, Suites: []SuiteResult{
+		// 15% slower and 10% more allocs: inside a 20% tolerance.
+		{Name: "modulo-schedule", Unit: "schedules", UnitsPerSec: 850, AllocsPerOp: 110},
+		{Name: "new-suite", Unit: "y", UnitsPerSec: 1, AllocsPerOp: 1},
+	}}
+	if err := Compare(ok, base, 20); err != nil {
+		t.Fatalf("tolerant compare failed: %v", err)
+	}
+	slow := &Report{Schema: SchemaVersion, Suites: []SuiteResult{
+		{Name: "modulo-schedule", Unit: "schedules", UnitsPerSec: 700, AllocsPerOp: 100},
+	}}
+	if err := Compare(slow, base, 20); err == nil {
+		t.Fatal("25% throughput regression passed a 20% gate")
+	}
+	leaky := &Report{Schema: SchemaVersion, Suites: []SuiteResult{
+		{Name: "modulo-schedule", Unit: "schedules", UnitsPerSec: 1000, AllocsPerOp: 130},
+	}}
+	if err := Compare(leaky, base, 20); err == nil {
+		t.Fatal("30% allocation growth passed a 20% gate")
+	}
+}
+
+// TestNextPath allocates trajectory filenames without clobbering.
+func TestNextPath(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NextPath(dir)
+	if err != nil || filepath.Base(p) != "BENCH_1.json" {
+		t.Fatalf("first point = %q, err %v", p, err)
+	}
+	os.WriteFile(filepath.Join(dir, "BENCH_1.json"), []byte("{}"), 0o644)
+	os.WriteFile(filepath.Join(dir, "BENCH_2.json"), []byte("{}"), 0o644)
+	p, err = NextPath(dir)
+	if err != nil || filepath.Base(p) != "BENCH_3.json" {
+		t.Fatalf("third point = %q, err %v", p, err)
+	}
+}
+
+// TestCountersDeterministic runs the counters sweep twice: identical
+// maps both times, or a report diff would flag phantom drift.
+func TestCountersDeterministic(t *testing.T) {
+	a, err := Counters(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Counters(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("counters not deterministic:\n%s\n%s", aj, bj)
+	}
+	if a["stage_schedule_requests"] == 0 || a["stage_eval_requests"] == 0 {
+		t.Fatalf("counters empty: %v", a)
+	}
+}

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"ncdrf/internal/core"
+	"ncdrf/internal/loops"
+	"ncdrf/internal/machine"
+	"ncdrf/internal/sweep"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Bump it only when a
+// field changes meaning or disappears; adding fields is backward
+// compatible and needs no bump.
+const SchemaVersion = 1
+
+// SuiteResult is one measured suite in the report.
+type SuiteResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Unit        string  `json:"unit"`
+	UnitsPerOp  int     `json:"units_per_op"`
+	UnitsPerSec float64 `json:"units_per_sec"`
+}
+
+// Report is the full BENCH_<n>.json document.
+type Report struct {
+	// Schema is SchemaVersion; readers reject documents they don't know.
+	Schema int `json:"ncdrf_bench"`
+	// Go/GOOS/GOARCH/CPUs describe the measuring toolchain and host —
+	// timings are only comparable within a similar host class, which is
+	// why the CI gate prefers allocation counts (host-independent) and
+	// applies a generous tolerance to rates.
+	Go     string `json:"go"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+	// Quick marks reduced-benchtime runs (CI smoke); trajectory analysis
+	// should prefer full runs.
+	Quick  bool          `json:"quick,omitempty"`
+	Suites []SuiteResult `json:"suites"`
+	// Counters are the pipeline stage counters of one deterministic
+	// kernels-corpus sweep (see Counters): cache requests/computes per
+	// stage, pinning how much work the sweep architecture avoids.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Baseline optionally embeds the suite results this report was
+	// measured against (e.g. BENCH_1.json carries the pre-optimization
+	// scheduler's numbers measured on the same host), making the first
+	// trajectory point self-contained.
+	Baseline *Baseline `json:"baseline,omitempty"`
+}
+
+// Baseline is an embedded reference measurement.
+type Baseline struct {
+	Note   string        `json:"note,omitempty"`
+	Suites []SuiteResult `json:"suites"`
+}
+
+// NewReport assembles a report around measured suites.
+func NewReport(suites []SuiteResult, counters map[string]uint64, quick bool) *Report {
+	return &Report{
+		Schema:   SchemaVersion,
+		Go:       runtime.Version(),
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		CPUs:     runtime.NumCPU(),
+		Quick:    quick,
+		Suites:   suites,
+		Counters: counters,
+	}
+}
+
+// Suite returns the named suite result, or nil.
+func (r *Report) Suite(name string) *SuiteResult {
+	for i := range r.Suites {
+		if r.Suites[i].Name == name {
+			return &r.Suites[i]
+		}
+	}
+	return nil
+}
+
+// Write emits the report as indented JSON, newline-terminated.
+func (r *Report) Write(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Load reads and validates a report file.
+func Load(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema %d, this build reads %d", path, r.Schema, SchemaVersion)
+	}
+	if len(r.Suites) == 0 {
+		return nil, fmt.Errorf("%s: no suites", path)
+	}
+	return &r, nil
+}
+
+// NextPath returns the first free BENCH_<n>.json name under dir,
+// starting at 1 — the default output of `ncdrf bench`, so each recorded
+// run appends the next trajectory point without clobbering history.
+func NextPath(dir string) (string, error) {
+	for n := 1; n < 10000; n++ {
+		p := fmt.Sprintf("%s/BENCH_%d.json", dir, n)
+		if _, err := os.Stat(p); os.IsNotExist(err) {
+			return p, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+	return "", fmt.Errorf("bench: no free BENCH_<n>.json under %s", dir)
+}
+
+// Compare checks cur against base and returns an error describing every
+// suite whose throughput (units_per_sec) regressed by more than
+// maxRegressPct percent or whose allocations per op grew by more than
+// maxRegressPct percent. Suites present on only one side are ignored —
+// the trajectory may gain or retire suites over time.
+func Compare(cur, base *Report, maxRegressPct float64) error {
+	var bad []string
+	tol := 1 - maxRegressPct/100
+	for _, b := range base.Suites {
+		c := cur.Suite(b.Name)
+		if c == nil {
+			continue
+		}
+		if b.UnitsPerSec > 0 && c.UnitsPerSec < b.UnitsPerSec*tol {
+			bad = append(bad, fmt.Sprintf(
+				"%s: %s/sec fell %.0f -> %.0f (more than %.0f%% regression)",
+				b.Name, b.Unit, b.UnitsPerSec, c.UnitsPerSec, maxRegressPct))
+		}
+		if b.AllocsPerOp > 0 && c.AllocsPerOp > b.AllocsPerOp*(1+maxRegressPct/100) {
+			bad = append(bad, fmt.Sprintf(
+				"%s: allocs/op grew %.0f -> %.0f (more than %.0f%%)",
+				b.Name, b.AllocsPerOp, c.AllocsPerOp, maxRegressPct))
+		}
+	}
+	if len(bad) > 0 {
+		msg := "bench: regression against baseline:"
+		for _, s := range bad {
+			msg += "\n  " + s
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}
+
+// Counters runs one deterministic kernels-corpus sweep on a fresh
+// engine and snapshots the per-stage cache counters: how many
+// schedule/base/eval computations the grid actually costs. quick
+// shrinks the register axis (CI smoke); both variants are fully
+// deterministic, so counter drift in a report diff is a real
+// architecture change.
+func Counters(ctx context.Context, quick bool) (map[string]uint64, error) {
+	regs := []int{16, 32, 64}
+	if quick {
+		regs = []int{32}
+	}
+	grid := sweep.Grid{
+		Corpus:   loops.Kernels(),
+		Machines: []*machine.Config{machine.Eval(3), machine.Eval(6)},
+		Models:   core.Models[:],
+		Regs:     regs,
+	}
+	eng := sweep.New(0)
+	if err := eng.Sweep(ctx, grid, func(sweep.Result) {}); err != nil {
+		return nil, err
+	}
+	st := eng.Cache().StageStats()
+	out := map[string]uint64{}
+	for _, s := range []struct {
+		name string
+		cs   sweep.CacheStats
+	}{{"schedule", st.Schedule}, {"base", st.Base}, {"eval", st.Eval}} {
+		out["stage_"+s.name+"_requests"] = s.cs.Requests()
+		out["stage_"+s.name+"_computed"] = s.cs.Misses
+		out["stage_"+s.name+"_memory_hits"] = s.cs.Hits
+	}
+	return out, nil
+}

@@ -54,17 +54,8 @@ func (g *Graph) AddNode(op OpCode, name string) int {
 // must be non-negative, and flow edges must originate at a value-producing
 // operation.
 func (g *Graph) AddEdge(e Edge) error {
-	if e.From < 0 || e.From >= len(g.nodes) || e.To < 0 || e.To >= len(g.nodes) {
-		return fmt.Errorf("ddg: edge %v references missing node (have %d nodes)", e, len(g.nodes))
-	}
-	if e.Distance < 0 {
-		return fmt.Errorf("ddg: edge %v has negative distance", e)
-	}
-	if e.Kind == Flow && !g.nodes[e.From].Op.ProducesValue() {
-		return fmt.Errorf("ddg: flow edge %v from non-producing op %s", e, g.nodes[e.From].Op)
-	}
-	if e.Kind == Mem && (!g.nodes[e.From].Op.IsMem() || !g.nodes[e.To].Op.IsMem()) {
-		return fmt.Errorf("ddg: mem edge %v between non-memory ops", e)
+	if err := g.checkEdge(e); err != nil {
+		return err
 	}
 	idx := len(g.edges)
 	g.edges = append(g.edges, e)
@@ -131,6 +122,70 @@ func (g *Graph) InEdges(id int) []Edge {
 		res = append(res, g.edges[ei])
 	}
 	return res
+}
+
+// OutEdgeIndices returns the indices (into Edge) of the edges leaving
+// node id, in ascending edge order. The slice is shared with the graph;
+// callers must not modify it. It is the allocation-free form of OutEdges
+// for hot loops (the modulo scheduler's inner placement loop walks
+// adjacency on every eviction probe).
+func (g *Graph) OutEdgeIndices(id int) []int { return g.out[id] }
+
+// InEdgeIndices is OutEdgeIndices for the edges entering node id.
+func (g *Graph) InEdgeIndices(id int) []int { return g.in[id] }
+
+// RewriteEdges applies one batch edit to the edge list in place: edit
+// receives the live edge slice and returns its replacement (it may
+// modify entries in place and/or append). Afterwards every edge is
+// re-validated with the AddEdge rules and the adjacency indexes are
+// rebuilt, so the graph behaves exactly as if it had been reconstructed
+// with the edited list in order. An invalid edited edge panics, like
+// MustAddEdge: batch rewriters (the spiller) run on graphs they built
+// themselves, so a bad edge is a construction bug, not an input error.
+//
+// This is the mutation primitive for passes that rewrite a working
+// graph between rounds without paying for a full rebuild. Note the
+// cache-digest contract (internal/sweep): in-repo rewriters must
+// strictly grow the graph (the spiller adds a store, reloads and their
+// edges every round), so content-digest memos keyed on (node count,
+// edge count) stay sound.
+func (g *Graph) RewriteEdges(edit func(edges []Edge) []Edge) {
+	g.edges = edit(g.edges)
+	for i, e := range g.edges {
+		if err := g.checkEdge(e); err != nil {
+			panic(fmt.Sprintf("ddg: RewriteEdges produced invalid edge %d: %v", i, err))
+		}
+	}
+	// Rebuild the adjacency indexes, reusing their backing arrays: the
+	// rebuilt lists are ascending in edge index, exactly like lists grown
+	// by AddEdge (indices are assigned in insertion order).
+	for i := range g.out {
+		g.out[i] = g.out[i][:0]
+	}
+	for i := range g.in {
+		g.in[i] = g.in[i][:0]
+	}
+	for idx, e := range g.edges {
+		g.out[e.From] = append(g.out[e.From], idx)
+		g.in[e.To] = append(g.in[e.To], idx)
+	}
+}
+
+// checkEdge holds AddEdge's validation rules, shared with RewriteEdges.
+func (g *Graph) checkEdge(e Edge) error {
+	if e.From < 0 || e.From >= len(g.nodes) || e.To < 0 || e.To >= len(g.nodes) {
+		return fmt.Errorf("ddg: edge %v references missing node (have %d nodes)", e, len(g.nodes))
+	}
+	if e.Distance < 0 {
+		return fmt.Errorf("ddg: edge %v has negative distance", e)
+	}
+	if e.Kind == Flow && !g.nodes[e.From].Op.ProducesValue() {
+		return fmt.Errorf("ddg: flow edge %v from non-producing op %s", e, g.nodes[e.From].Op)
+	}
+	if e.Kind == Mem && (!g.nodes[e.From].Op.IsMem() || !g.nodes[e.To].Op.IsMem()) {
+		return fmt.Errorf("ddg: mem edge %v between non-memory ops", e)
+	}
+	return nil
 }
 
 // Consumers returns the IDs of nodes that read the value produced by id

@@ -399,3 +399,112 @@ func TestPropertyEncodeDecodeIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEdgeIndicesMatchEdgeCopies pins the allocation-free adjacency
+// accessors to the copying ones: same edges, same order, and zero
+// allocations per call.
+func TestEdgeIndicesMatchEdgeCopies(t *testing.T) {
+	g := buildChain(t)
+	g.FlowD(g.NodeByName("A3").ID, g.NodeByName("M2").ID, 1)
+	for id := 0; id < g.NumNodes(); id++ {
+		outs := g.OutEdges(id)
+		idx := g.OutEdgeIndices(id)
+		if len(outs) != len(idx) {
+			t.Fatalf("node %d: out lengths differ", id)
+		}
+		for i, ei := range idx {
+			if g.Edge(ei) != outs[i] {
+				t.Fatalf("node %d out[%d]: %+v != %+v", id, i, g.Edge(ei), outs[i])
+			}
+		}
+		ins := g.InEdges(id)
+		inIdx := g.InEdgeIndices(id)
+		if len(ins) != len(inIdx) {
+			t.Fatalf("node %d: in lengths differ", id)
+		}
+		for i, ei := range inIdx {
+			if g.Edge(ei) != ins[i] {
+				t.Fatalf("node %d in[%d]: %+v != %+v", id, i, g.Edge(ei), ins[i])
+			}
+		}
+	}
+	if per := testing.AllocsPerRun(100, func() {
+		_ = g.OutEdgeIndices(1)
+		_ = g.InEdgeIndices(1)
+	}); per != 0 {
+		t.Fatalf("index accessors allocate %.1f/call, want 0", per)
+	}
+}
+
+// TestRewriteEdgesRebuildsAdjacency checks the batch-edit primitive: an
+// in-place substitution plus appended edges must leave the graph exactly
+// as if it had been constructed with the edited list via AddEdge —
+// including the ascending-by-edge-index adjacency lists the scheduler
+// iterates.
+func TestRewriteEdgesRebuildsAdjacency(t *testing.T) {
+	g := buildChain(t)
+	l, m, a, s := g.NodeByName("L1").ID, g.NodeByName("M2").ID, g.NodeByName("A3").ID, g.NodeByName("S4").ID
+	// Redirect M2's input to come from A3 at distance 1 (a recurrence)
+	// and append a fresh L1->A3 edge.
+	g.RewriteEdges(func(edges []Edge) []Edge {
+		edges[0] = Edge{From: a, To: m, Kind: Flow, Distance: 1}
+		return append(edges, Edge{From: l, To: a, Kind: Flow})
+	})
+
+	want := New("chain", 10)
+	for _, n := range g.Nodes() {
+		want.AddNode(n.Op, n.Name)
+	}
+	want.MustAddEdge(Edge{From: a, To: m, Kind: Flow, Distance: 1})
+	want.MustAddEdge(Edge{From: m, To: a, Kind: Flow})
+	want.MustAddEdge(Edge{From: a, To: s, Kind: Flow})
+	want.MustAddEdge(Edge{From: l, To: a, Kind: Flow})
+
+	if g.NumEdges() != want.NumEdges() {
+		t.Fatalf("edge count %d, want %d", g.NumEdges(), want.NumEdges())
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		if g.Edge(i) != want.Edge(i) {
+			t.Fatalf("edge %d: %+v, want %+v", i, g.Edge(i), want.Edge(i))
+		}
+	}
+	for id := 0; id < g.NumNodes(); id++ {
+		gi, wi := g.OutEdgeIndices(id), want.OutEdgeIndices(id)
+		if len(gi) != len(wi) {
+			t.Fatalf("node %d out-degree %d, want %d", id, len(gi), len(wi))
+		}
+		for i := range gi {
+			if gi[i] != wi[i] {
+				t.Fatalf("node %d out adjacency %v, want %v", id, gi, wi)
+			}
+		}
+		gi, wi = g.InEdgeIndices(id), want.InEdgeIndices(id)
+		if len(gi) != len(wi) {
+			t.Fatalf("node %d in-degree %d, want %d", id, len(gi), len(wi))
+		}
+		for i := range gi {
+			if gi[i] != wi[i] {
+				t.Fatalf("node %d in adjacency %v, want %v", id, gi, wi)
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRewriteEdgesPanicsOnInvalidEdge: the batch editor enforces the
+// same rules as AddEdge, loudly.
+func TestRewriteEdgesPanicsOnInvalidEdge(t *testing.T) {
+	g := buildChain(t)
+	s := g.NodeByName("S4").ID
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RewriteEdges accepted a flow edge from a store")
+		}
+	}()
+	g.RewriteEdges(func(edges []Edge) []Edge {
+		// Stores produce no value; a flow edge from one must panic.
+		return append(edges, Edge{From: s, To: 0, Kind: Flow})
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Row is the streaming result record of one evaluated grid cell: the
@@ -46,12 +47,38 @@ func (r *Row) Fill(res *ModelResult) {
 	r.Rounds = res.Iterations
 }
 
+// rowEncoder is a reusable buffer with a json.Encoder bound to it; the
+// pool amortizes both across every row a sweep emits instead of
+// allocating a fresh encoder (plus its internal state) per row.
+type rowEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var rowEncoders = sync.Pool{
+	New: func() any {
+		re := &rowEncoder{}
+		re.enc = json.NewEncoder(&re.buf)
+		return re
+	},
+}
+
 // EncodeRow writes r's canonical single-line encoding: compact JSON in
 // struct field order, terminated by a newline — the same bytes
 // json.Encoder produces, so streamed output and re-encoded shard rows
-// are interchangeable.
+// are interchangeable. The encoding runs through a pooled encoder and
+// reaches w in a single Write, so concurrent emitters interleave whole
+// lines, never fragments.
 func EncodeRow(w io.Writer, r Row) error {
-	return json.NewEncoder(w).Encode(r)
+	re := rowEncoders.Get().(*rowEncoder)
+	re.buf.Reset()
+	if err := re.enc.Encode(r); err != nil {
+		rowEncoders.Put(re)
+		return err
+	}
+	_, err := w.Write(re.buf.Bytes())
+	rowEncoders.Put(re)
+	return err
 }
 
 // DecodeRow parses one NDJSON line into a Row, strictly: unknown

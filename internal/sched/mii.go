@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"slices"
 
 	"ncdrf/internal/ddg"
 	"ncdrf/internal/machine"
@@ -13,20 +12,20 @@ import (
 // kind), maximized over kinds. An error is returned if the loop uses a
 // kind the machine lacks.
 func ResMII(g *ddg.Graph, m *machine.Config) (int, error) {
-	counts := map[machine.FUKind]int{}
+	var counts [len(machine.Kinds)]int
 	for _, n := range g.Nodes() {
 		counts[n.Op.FUKind()]++
 	}
 	// Visit the kinds in a fixed order: when a loop needs several kinds
 	// the machine lacks, the error must name the same one every run.
-	kinds := make([]machine.FUKind, 0, len(counts))
-	for kind := range counts {
-		kinds = append(kinds, kind)
-	}
-	slices.Sort(kinds)
+	// machine.Kinds is ascending in FUKind, the same order the previous
+	// map-and-sort implementation visited.
 	mii := 1
-	for _, kind := range kinds {
+	for _, kind := range machine.Kinds {
 		ops := counts[kind]
+		if ops == 0 {
+			continue
+		}
 		units := m.CountOfKind(kind)
 		if units == 0 {
 			return 0, fmt.Errorf("sched: machine %s has no %s units but loop %s needs %d",
@@ -45,18 +44,23 @@ func ResMII(g *ddg.Graph, m *machine.Config) (int, error) {
 // weights delay(e) - II*distance(e) has no positive-weight cycle. For an
 // acyclic graph it is 1.
 func RecMII(g *ddg.Graph, m *machine.Config) int {
-	// Upper bound: II equal to the sum of all delays always kills every
-	// cycle (each cycle has total distance >= 1).
-	hi := 1
-	for _, e := range g.Edges() {
-		hi += EdgeDelay(g, m, e)
+	// Per-edge delays are II-independent: compute them once and share the
+	// relaxation buffers across every probe of the binary search instead
+	// of reallocating dist and weights per candidate II.
+	ne := g.NumEdges()
+	delay := make([]int, ne)
+	hi := 1 // II equal to the sum of all delays kills every cycle
+	for i := 0; i < ne; i++ {
+		delay[i] = EdgeDelay(g, m, g.Edge(i))
+		hi += delay[i]
 	}
+	dist := make([]int, g.NumNodes())
 	lo := 1
 	// Binary search on the predicate "no positive cycle at II", which is
 	// monotone in II (raising II only lowers weights).
 	for lo < hi {
 		mid := lo + (hi-lo)/2
-		if hasPositiveCycle(g, m, mid) {
+		if hasPositiveCycle(g, delay, dist, mid) {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -68,16 +72,19 @@ func RecMII(g *ddg.Graph, m *machine.Config) int {
 // hasPositiveCycle reports whether the constraint graph at the given II
 // contains a positive-weight cycle, using Bellman-Ford-style relaxation:
 // if longest-path distances still relax after N rounds, a positive cycle
-// exists.
-func hasPositiveCycle(g *ddg.Graph, m *machine.Config, ii int) bool {
+// exists. delay holds per-edge delays indexed like g.Edge; dist is a
+// caller-owned scratch buffer of NumNodes length.
+func hasPositiveCycle(g *ddg.Graph, delay, dist []int, ii int) bool {
 	n := g.NumNodes()
-	dist := make([]int, n) // longest path from a virtual source to each node
-	edges := g.Edges()
-	w := edgeWeights(g, m, edges, ii)
+	ne := g.NumEdges()
+	for i := range dist {
+		dist[i] = 0 // longest path from a virtual source to each node
+	}
 	for round := 0; round < n; round++ {
 		changed := false
-		for i, e := range edges {
-			if d := dist[e.From] + w[i]; d > dist[e.To] {
+		for i := 0; i < ne; i++ {
+			e := g.Edge(i)
+			if d := dist[e.From] + delay[i] - ii*e.Distance; d > dist[e.To] {
 				dist[e.To] = d
 				changed = true
 			}
@@ -87,8 +94,9 @@ func hasPositiveCycle(g *ddg.Graph, m *machine.Config, ii int) bool {
 		}
 	}
 	// One more relaxation round: any further improvement proves a cycle.
-	for i, e := range edges {
-		if dist[e.From]+w[i] > dist[e.To] {
+	for i := 0; i < ne; i++ {
+		e := g.Edge(i)
+		if dist[e.From]+delay[i]-ii*e.Distance > dist[e.To] {
 			return true
 		}
 	}

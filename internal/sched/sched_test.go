@@ -382,15 +382,26 @@ func TestHeightsMonotoneAlongChain(t *testing.T) {
 }
 
 // TestNextUnscheduledExhausted pins the PR 4 panic conversion: a fully
-// placed state reports -1 (which schedule() turns into a contextual
-// error) instead of panicking out of the whole sweep.
+// placed state reports -1 (which tryII turns into a contextual error)
+// instead of panicking out of the whole sweep. It also exercises the
+// worklist pointer: after the exhausted scan parks ptr at n, clearing a
+// placed flag alone is not visible — the eviction path must rewind ptr
+// through rank, which is exactly what evict does.
 func TestNextUnscheduledExhausted(t *testing.T) {
-	st := &imsState{placed: []bool{true, true, true}}
-	if u := st.nextUnscheduled([]int{2, 0, 1}); u != -1 {
+	st := &imsState{
+		n:      3,
+		placed: []bool{true, true, true},
+		order:  []int{2, 0, 1},
+		rank:   []int{1, 2, 0},
+	}
+	if u := st.nextUnscheduled(); u != -1 {
 		t.Fatalf("nextUnscheduled on placed state = %d, want -1", u)
 	}
 	st.placed[1] = false
-	if u := st.nextUnscheduled([]int{2, 0, 1}); u != 1 {
+	if st.rank[1] < st.ptr {
+		st.ptr = st.rank[1] // the evict-path rewind
+	}
+	if u := st.nextUnscheduled(); u != 1 {
 		t.Fatalf("nextUnscheduled = %d, want 1", u)
 	}
 }

@@ -185,12 +185,17 @@ func hasFlowConsumer(g *ddg.Graph, node int) bool {
 	return false
 }
 
-// insertSpill rewrites the graph: it rebuilds it with identical node IDs
-// for existing nodes, appends a spill store plus one reload per distinct
-// consumption distance, and redirects the producer's flow out-edges
-// through the reloads. Each consumer edge is replaced in place — same
-// position in the edge list — so operand order (which matters for
-// subtraction and division semantics in the simulator) is preserved.
+// insertSpill rewrites the graph in place: it appends a spill store plus
+// one reload per distinct consumption distance, and redirects the
+// producer's flow out-edges through the reloads. Each consumer edge is
+// replaced in place — same position in the edge list — so operand order
+// (which matters for subtraction and division semantics in the
+// simulator) is preserved. The graph strictly grows (one store, >=1
+// load, one flow edge and one mem edge per load), which is what keeps
+// the sweep cache's per-graph digest memos sound across rounds; the node
+// and edge append order is byte-identical to the full rebuild this
+// replaced (pinned by TestInsertSpillMatchesRebuild), so cached
+// schedule/eval keys do not move.
 func insertSpill(g *ddg.Graph, producer, slot int, unspillable map[int]bool) (stores, loads int) {
 	// Distinct consumption distances of the producer's value.
 	distSet := map[int]bool{}
@@ -205,42 +210,36 @@ func insertSpill(g *ddg.Graph, producer, slot int, unspillable map[int]bool) (st
 	}
 	sort.Ints(dists)
 
-	rebuilt := ddg.New(g.LoopName, g.Trips)
-	for _, n := range g.Nodes() {
-		id := rebuilt.AddNode(n.Op, n.Name)
-		rebuilt.Node(id).Sym = n.Sym
-		rebuilt.Node(id).SpillSlot = n.SpillSlot
-	}
 	// Spill store fed by the producer, then one reload per distance.
-	st := rebuilt.AddNode(ddg.STORE, fmt.Sprintf("sp%d.st", slot))
-	rebuilt.Node(st).Sym = fmt.Sprintf("spill%d", slot)
-	rebuilt.Node(st).SpillSlot = slot
+	st := g.AddNode(ddg.STORE, fmt.Sprintf("sp%d.st", slot))
+	g.Node(st).Sym = fmt.Sprintf("spill%d", slot)
+	g.Node(st).SpillSlot = slot
 	stores = 1
 	loadOf := map[int]int{}
 	for _, d := range dists {
-		ld := rebuilt.AddNode(ddg.LOAD, fmt.Sprintf("sp%d.ld%d", slot, d))
-		rebuilt.Node(ld).Sym = fmt.Sprintf("spill%d", slot)
-		rebuilt.Node(ld).SpillSlot = slot
+		ld := g.AddNode(ddg.LOAD, fmt.Sprintf("sp%d.ld%d", slot, d))
+		g.Node(ld).Sym = fmt.Sprintf("spill%d", slot)
+		g.Node(ld).SpillSlot = slot
 		loadOf[d] = ld
 		unspillable[ld] = true
 		loads++
 	}
-	// Copy edges in order, substituting consumer edges in place: the
-	// consumer now reads the reload's value at distance 0.
-	for _, e := range g.Edges() {
-		if e.Kind == ddg.Flow && e.From == producer {
-			rebuilt.Flow(loadOf[e.Distance], e.To)
-			continue
+	g.RewriteEdges(func(edges []ddg.Edge) []ddg.Edge {
+		// Substitute consumer edges in place: the consumer now reads the
+		// reload's value at distance 0.
+		for i, e := range edges {
+			if e.Kind == ddg.Flow && e.From == producer {
+				edges[i] = ddg.Edge{From: loadOf[e.Distance], To: e.To, Kind: ddg.Flow}
+			}
 		}
-		rebuilt.MustAddEdge(e)
-	}
-	// New dependences: producer feeds the store; each reload of
-	// iteration i reads what the store wrote d iterations earlier.
-	rebuilt.Flow(producer, st)
-	for _, d := range dists {
-		rebuilt.MustAddEdge(ddg.Edge{From: st, To: loadOf[d], Kind: ddg.Mem, Distance: d})
-	}
+		// New dependences: producer feeds the store; each reload of
+		// iteration i reads what the store wrote d iterations earlier.
+		edges = append(edges, ddg.Edge{From: producer, To: st, Kind: ddg.Flow})
+		for _, d := range dists {
+			edges = append(edges, ddg.Edge{From: st, To: loadOf[d], Kind: ddg.Mem, Distance: d})
+		}
+		return edges
+	})
 	unspillable[producer] = true
-	*g = *rebuilt
 	return stores, loads
 }
