@@ -16,7 +16,8 @@ import (
 // and README "Benchmarks"). With -against it additionally gates on a
 // committed baseline: more than -max-regress percent throughput loss or
 // allocation growth in any shared suite fails the command — the CI
-// bench job runs exactly that against BENCH_1.json.
+// bench job runs exactly that against the latest committed
+// trajectory point.
 func cmdBench(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced benchtime and counters grid (CI smoke)")
@@ -32,7 +33,7 @@ func cmdBench(ctx context.Context, args []string) error {
 		bt = 100 * time.Millisecond
 	}
 
-	suites, err := bench.Suites()
+	suites, err := bench.Suites(ctx)
 	if err != nil {
 		return err
 	}

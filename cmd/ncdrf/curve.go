@@ -24,16 +24,25 @@ const maxRegsAxisPoints = 1 << 16
 // parseRegsAxis accepts the curve's register axis in either form: the
 // sweep-style comma list (8,16,32) or a dense range lo:hi[:step]
 // (8:128:8 = 8,16,...,128; hi is included whenever the step lands on
-// it; step defaults to 1).
+// it; step defaults to 1). A comma list must be strictly ascending: a
+// duplicated size would double-count every loop in its curve cell, and
+// a descending list almost certainly means a typo'd range — both are
+// rejected instead of producing a silently wrong curve.
 func parseRegsAxis(s string) ([]int, error) {
 	if !strings.Contains(s, ":") {
 		list, err := parseIntList(s)
 		if err != nil {
 			return nil, err
 		}
-		for _, r := range list {
+		for i, r := range list {
 			if r < 0 {
 				return nil, fmt.Errorf("sizes must be >= 0 (0 = unlimited), got %d", r)
+			}
+			if i > 0 && r == list[i-1] {
+				return nil, fmt.Errorf("duplicate size %d: each register size may appear once (a repeated size would double-count its loops)", r)
+			}
+			if i > 0 && r < list[i-1] {
+				return nil, fmt.Errorf("sizes must be ascending, got %d after %d", r, list[i-1])
 			}
 		}
 		return list, nil
@@ -131,6 +140,7 @@ func cmdCurve(ctx context.Context, eng *sweep.Engine, args []string) error {
 	csv := fs.Bool("csv", false, "emit one flat CSV over every (machine, model, regs) cell")
 	chart := fs.Bool("chart", false, "render ASCII charts instead of tables")
 	ndjson := fs.Bool("ndjson", false, "emit the raw result-row stream instead of curves")
+	frontier := fs.Bool("frontier", false, "prune the register axis by dominance: binary-search each series' fit boundary and imply the cells above it (needs a strictly ascending finite axis)")
 	shardSpec := fs.String("shard", "", "run only shard I of N of the grid, as I/N; emits a headered row stream for 'ncdrf merge'")
 	outPath := fs.String("o", "", "write the output to this file instead of stdout")
 	from := fs.String("from", "", "render curves from this NDJSON row stream (e.g. 'ncdrf merge' output) instead of sweeping")
@@ -170,6 +180,7 @@ func cmdCurve(ctx context.Context, eng *sweep.Engine, args []string) error {
 			set  bool
 		}{
 			{"-shard", *shardSpec != ""},
+			{"-frontier", *frontier},
 			{"-ndjson", *ndjson},
 			{"-stats", *stats},
 			{"-progress", *progressFlag},
@@ -210,6 +221,12 @@ func cmdCurve(ctx context.Context, eng *sweep.Engine, args []string) error {
 	if err != nil {
 		return err
 	}
+	if *frontier && *shardSpec != "" {
+		// A shard slices the plan mid-series; the frontier search needs
+		// every cell of a (loop, machine, model) series to pick its probes,
+		// so a partial series cannot be searched.
+		return fmt.Errorf("-frontier searches whole register-axis series and cannot run on a shard of the plan; drop -shard (sharded runs are dense-only)")
+	}
 	units, header, err := planShard(grid, *shardSpec)
 	if err != nil {
 		return err
@@ -223,6 +240,13 @@ func cmdCurve(ctx context.Context, eng *sweep.Engine, args []string) error {
 	defer prog.close()
 
 	err = func() error {
+		if *frontier {
+			return runFrontier(ctx, eng, grid, frontierOut{
+				render: render, withOut: withOut,
+				ndjson: *ndjson, stats: *stats, strict: *strict,
+			}, prog)
+		}
+
 		// Streaming modes share the sweep command's writer: a sharded curve
 		// file is a sweep shard file, which is exactly what lets `ncdrf
 		// merge` splice curve shards back into the unsharded -ndjson stream.
@@ -246,7 +270,7 @@ func cmdCurve(ctx context.Context, eng *sweep.Engine, args []string) error {
 		if *stats {
 			// Same renderer as the `ncdrf all` trailer, so the CI contract
 			// (one base schedule per (loop, machine) group) greps one format.
-			fmt.Printf("\n%s\n", eng.Cache().StageStats())
+			fmt.Printf("\n%s\n", eng.StageStats())
 		}
 		return curveErr(curve, *strict)
 	}()
@@ -254,6 +278,97 @@ func cmdCurve(ctx context.Context, eng *sweep.Engine, args []string) error {
 		err = perr
 	}
 	return err
+}
+
+// frontierOut bundles the output shape of one frontier run: the
+// renderer and sink cmdCurve assembled from its flags.
+type frontierOut struct {
+	render  func(*experiment.Curve, io.Writer) error
+	withOut func(func(io.Writer) error) error
+	ndjson  bool
+	stats   bool
+	strict  bool
+}
+
+// runFrontier executes the grid with the dominance-pruned frontier
+// executor and renders exactly what the dense path would have — the
+// emitted stream is byte-identical by the executor's contract. Each
+// series whose observed results contradict the dominance assumptions is
+// reported on stderr as it falls back to dense evaluation; -strict
+// turns any such fallback into the exit status (the rows are still
+// correct — they were recomputed densely — but a violation means the
+// monotonicity the pruning relies on did not hold, which scripted runs
+// may want to treat as a red flag rather than a warning).
+func runFrontier(ctx context.Context, eng *sweep.Engine, grid sweep.Grid, out frontierOut, prog *progress) error {
+	violations := 0
+	opts := sweep.FrontierOptions{
+		Done: prog.incDone,
+		// Serialized by the engine, so the counter needs no lock.
+		OnViolation: func(v sweep.FrontierViolation) {
+			violations++
+			fmt.Fprintf(os.Stderr, "curve: frontier fell back to dense for %s/%s (%s): %s\n",
+				v.Loop, v.Model, v.Machine, v.Detail)
+		},
+	}
+	violationsErr := func() error {
+		if out.strict && violations > 0 {
+			return fmt.Errorf("%d series violated the dominance assumptions and fell back to dense evaluation (rows are correct; -strict makes the violation fatal)", violations)
+		}
+		return nil
+	}
+
+	if out.ndjson {
+		err := out.withOut(func(w io.Writer) error {
+			// Like runSweep: a dead output cancels the sweep instead of
+			// burning CPU on results nobody will see.
+			ctx, cancel := context.WithCancel(ctx)
+			defer cancel()
+			var encErr error // only written under the serialized emit
+			err := eng.SweepFrontier(ctx, grid, func(r sweep.Result) {
+				if encErr != nil {
+					return
+				}
+				if e := pipeline.EncodeRow(w, r); e != nil {
+					encErr = e
+					cancel()
+					return
+				}
+				prog.incEmitted()
+			}, opts)
+			if encErr != nil {
+				return fmt.Errorf("writing results: %w", encErr)
+			}
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if out.stats {
+			if err := writeStatsJSON(eng, os.Stdout); err != nil {
+				return err
+			}
+		}
+		return violationsErr()
+	}
+
+	var rows []pipeline.Row
+	if err := eng.SweepFrontier(ctx, grid, func(r sweep.Result) {
+		rows = append(rows, r)
+		prog.incEmitted()
+	}, opts); err != nil {
+		return err
+	}
+	curve := experiment.BuildCurve(rows)
+	if err := out.withOut(func(w io.Writer) error { return out.render(curve, w) }); err != nil {
+		return err
+	}
+	if out.stats {
+		fmt.Printf("\n%s\n", eng.StageStats())
+	}
+	if err := curveErr(curve, out.strict); err != nil {
+		return err
+	}
+	return violationsErr()
 }
 
 // curveErr reports a curve's absorbed compile failures. A cell that

@@ -279,7 +279,7 @@ func TestCmdAllCacheDirIncremental(t *testing.T) {
 	}
 	body1, trailer1 := stripTrailer(first)
 	body2, trailer2 := stripTrailer(second)
-	if len(trailer1) != 3 || len(trailer2) != 3 {
+	if len(trailer1) != 4 || len(trailer2) != 4 {
 		t.Fatalf("trailer shape wrong:\n%v\n%v", trailer1, trailer2)
 	}
 	if body1 != body2 {
@@ -295,8 +295,12 @@ func TestCmdAllCacheDirIncremental(t *testing.T) {
 			}
 		}
 	}
-	// The cold run must already advertise the disk tier in its trailer.
+	// The cold run must already advertise the disk tier in its trailer
+	// (the rows line is provenance, not a cache stage, so it has none).
 	for _, line := range trailer1 {
+		if strings.HasPrefix(line, "stage rows:") {
+			continue
+		}
 		if !strings.Contains(line, "from disk") {
 			t.Fatalf("cold run trailer missing disk tier: %q", line)
 		}
@@ -555,7 +559,8 @@ func TestCmdCurveFailedCells(t *testing.T) {
 
 // TestCmdCurveBadRegsSpecs pins the -regs axis validation.
 func TestCmdCurveBadRegsSpecs(t *testing.T) {
-	for _, bad := range []string{"", "x", "8:", ":8", "8:4", "-8:16", "8:16:0", "8:16:-2", "1:2:3:4", "0:99999999"} {
+	for _, bad := range []string{"", "x", "8:", ":8", "8:4", "-8:16", "8:16:0", "8:16:-2", "1:2:3:4", "0:99999999",
+		"8,16,16,32", "32,16", "8,32,16"} {
 		if err := cmdCurve(ctx0, testEng(), []string{"-kernels-only", "-regs", bad}); err == nil {
 			t.Fatalf("-regs %q accepted", bad)
 		}
@@ -567,6 +572,88 @@ func TestCmdCurveBadRegsSpecs(t *testing.T) {
 	got, err = parseRegsAxis("8:16")
 	if err != nil || len(got) != 9 {
 		t.Fatalf("8:16 (default step 1) = %v, %v", got, err)
+	}
+	// Comma lists must be strictly ascending — a duplicate would
+	// double-count its loops in the curve cell, a descending list is a
+	// typo'd range — and each rejection names its own cause.
+	if _, err := parseRegsAxis("8,16,16,32"); err == nil || !strings.Contains(err.Error(), "duplicate size 16") {
+		t.Fatalf("duplicate comma entry: %v", err)
+	}
+	if _, err := parseRegsAxis("32,16"); err == nil || !strings.Contains(err.Error(), "ascending") {
+		t.Fatalf("descending comma entry: %v", err)
+	}
+}
+
+// TestCmdCurveFrontier is the CLI acceptance scenario of the frontier
+// executor: -frontier -ndjson is byte-identical to the dense stream
+// over the kernels corpus, the stats trailer separates implied from
+// computed rows, and the dense-only flags are refused with pointers at
+// why.
+func TestCmdCurveFrontier(t *testing.T) {
+	args := []string{"-kernels-only", "-lats", "3,6", "-regs", "8:128:8"}
+	dense := capture(t, func() error {
+		return cmdCurve(ctx0, testEng(), append(append([]string{}, args...), "-ndjson"))
+	})
+	pruned := capture(t, func() error {
+		return cmdCurve(ctx0, testEng(), append(append([]string{}, args...), "-ndjson", "-frontier"))
+	})
+	if dense != pruned {
+		t.Fatalf("-frontier -ndjson differs from the dense stream:\ndense:\n%s\nfrontier:\n%s", dense, pruned)
+	}
+
+	// Tables with -stats: the trailer must show implied rows and fewer
+	// computed evals than the plan has cells.
+	out := capture(t, func() error {
+		return cmdCurve(ctx0, testEng(), append(append([]string{}, args...), "-frontier", "-stats"))
+	})
+	denseOut := capture(t, func() error { return cmdCurve(ctx0, testEng(), args) })
+	stripStage := func(s string) string {
+		var body string
+		for _, line := range strings.SplitAfter(s, "\n") {
+			if !strings.HasPrefix(line, "stage ") && strings.TrimSpace(line) != "" {
+				body += line
+			}
+		}
+		return body
+	}
+	if stripStage(out) != stripStage(denseOut) {
+		t.Fatalf("-frontier tables differ from dense tables:\ndense:\n%s\nfrontier:\n%s", denseOut, out)
+	}
+	var rowsLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "stage rows:") {
+			rowsLine = line
+		}
+	}
+	var computed, implied int
+	if _, err := fmt.Sscanf(rowsLine, "stage rows: %d computed, %d implied", &computed, &implied); err != nil {
+		t.Fatalf("rows trailer line unparseable: %q (%v)", rowsLine, err)
+	}
+	// kernels x 2 machines x 4 models x 16 axis points.
+	if total := 44 * 2 * 4 * 16; computed+implied != total {
+		t.Fatalf("rows %d computed + %d implied != %d plan cells", computed, implied, total)
+	}
+	if implied == 0 || computed >= implied {
+		t.Fatalf("no meaningful pruning: %d computed, %d implied", computed, implied)
+	}
+
+	// Dense-only flags are refused up front, naming the reason.
+	err := cmdCurve(ctx0, testEng(), append(append([]string{}, args...), "-frontier", "-shard", "1/2"))
+	if err == nil || !strings.Contains(err.Error(), "dense-only") {
+		t.Fatalf("-frontier -shard: %v", err)
+	}
+	f := filepath.Join(t.TempDir(), "rows.ndjson")
+	if err := os.WriteFile(f, []byte(dense), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = cmdCurve(ctx0, testEng(), []string{"-from", f, "-frontier"})
+	if err == nil || !strings.Contains(err.Error(), "-frontier") {
+		t.Fatalf("-from -frontier: %v", err)
+	}
+	// An axis without dominance structure (0 = unlimited) is refused.
+	err = cmdCurve(ctx0, testEng(), []string{"-kernels-only", "-regs", "0,32", "-frontier"})
+	if err == nil || !strings.Contains(err.Error(), "run dense") {
+		t.Fatalf("-frontier with an unlimited size: %v", err)
 	}
 }
 

@@ -260,10 +260,11 @@ func runSweep(ctx context.Context, eng *sweep.Engine, grid sweep.Grid, units []s
 
 // writeStatsJSON emits the -stats object: the legacy cache_* keys
 // describe the schedule stage; the stage_* keys add the full per-stage
-// picture (computed vs memory vs disk tier) and the retained entry
-// counts.
+// picture (computed vs memory vs disk tier), the rows_* keys the row
+// provenance (computed vs dominance-implied), and the entries_* keys
+// the retained entry counts.
 func writeStatsJSON(eng *sweep.Engine, w io.Writer) error {
-	st := eng.Cache().StageStats()
+	st := eng.StageStats()
 	lens := eng.Cache().Lens()
 	obj := map[string]uint64{
 		"cache_requests": st.Schedule.Requests(),
@@ -282,6 +283,8 @@ func writeStatsJSON(eng *sweep.Engine, w io.Writer) error {
 		obj["stage_"+s.name+"_memory_hits"] = s.cs.Hits
 		obj["stage_"+s.name+"_disk_hits"] = s.cs.DiskHits
 	}
+	obj["rows_computed"] = st.RowsComputed
+	obj["rows_implied"] = st.RowsImplied
 	obj["entries_schedule"] = uint64(lens.Schedule)
 	obj["entries_base"] = uint64(lens.Base)
 	obj["entries_eval"] = uint64(lens.Eval)

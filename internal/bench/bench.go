@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -24,6 +25,7 @@ import (
 	"ncdrf/internal/regalloc"
 	"ncdrf/internal/sched"
 	"ncdrf/internal/spill"
+	"ncdrf/internal/sweep"
 )
 
 // Suite is one named timing loop: Run executes n iterations of the
@@ -89,10 +91,21 @@ func measure(s Suite, benchtime time.Duration) (SuiteResult, error) {
 	}
 }
 
+// regsRange expands lo..hi inclusive by step — the bench grids' dense
+// register axes (same shape `ncdrf curve -regs lo:hi:step` produces).
+func regsRange(lo, hi, step int) []int {
+	var out []int
+	for r := lo; r <= hi; r += step {
+		out = append(out, r)
+	}
+	return out
+}
+
 // Suites builds the standard suite list over the curated kernel corpus.
 // Every suite is self-contained: setup (scheduling inputs, preparing
-// lifetimes) happens here, outside the timed loop.
-func Suites() ([]Suite, error) {
+// lifetimes) happens here, outside the timed loop. ctx bounds the
+// sweep-engine suites (curve-dense, curve-frontier).
+func Suites(ctx context.Context) ([]Suite, error) {
 	ks := loops.Kernels()
 	m := machine.Eval(6)
 
@@ -117,6 +130,22 @@ func Suites() ([]Suite, error) {
 
 	row := pipeline.Row{Loop: "daxpy", Machine: "eval-L6", Model: "swapped",
 		Regs: 32, II: 2, Stages: 5, Trips: 100, MemOps: 3}
+
+	// The curve suites race the two executors over one register-axis
+	// grid: same corpus, machine, models and axis, so rows/sec compares
+	// the dense O(axis) evaluation against the frontier's dominance
+	// pruning directly. The axis starts at 16 registers — every kernel
+	// converges there, so the suites measure executor cost, not
+	// non-convergent spill divergence. Each iteration runs on a fresh
+	// engine: a warm cache would make every iteration after the first
+	// nearly free and the calibration meaningless.
+	curveGrid := sweep.Grid{
+		Corpus:   ks,
+		Machines: []*machine.Config{m},
+		Models:   core.Models[:],
+		Regs:     regsRange(16, 64, 4),
+	}
+	curveCells := len(curveGrid.Plan())
 
 	return []Suite{
 		{
@@ -168,6 +197,31 @@ func Suites() ([]Suite, error) {
 			Run: func(n int) error {
 				for i := 0; i < n; i++ {
 					if err := pipeline.EncodeRow(io.Discard, row); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "curve-dense", Unit: "rows", Units: curveCells,
+			Run: func(n int) error {
+				for i := 0; i < n; i++ {
+					eng := sweep.New(0)
+					if err := eng.Sweep(ctx, curveGrid, func(sweep.Result) {}); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "curve-frontier", Unit: "rows", Units: curveCells,
+			Run: func(n int) error {
+				for i := 0; i < n; i++ {
+					eng := sweep.New(0)
+					err := eng.SweepFrontier(ctx, curveGrid, func(sweep.Result) {}, sweep.FrontierOptions{})
+					if err != nil {
 						return err
 					}
 				}

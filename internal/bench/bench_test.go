@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"encoding/json"
+	"math/bits"
 	"os"
 	"path/filepath"
 	"strings"
@@ -49,7 +50,7 @@ func TestMeasureReportsSaneNumbers(t *testing.T) {
 // TestSuitesRunQuick executes every standard suite for a minimal
 // benchtime: the harness must complete and produce all suites in order.
 func TestSuitesRunQuick(t *testing.T) {
-	suites, err := Suites()
+	suites, err := Suites(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestSuitesRunQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"modulo-schedule", "first-fit-alloc", "spill-pipeline", "row-encode"}
+	want := []string{"modulo-schedule", "first-fit-alloc", "spill-pipeline", "row-encode", "curve-dense", "curve-frontier"}
 	if len(results) != len(want) {
 		t.Fatalf("got %d suites, want %d", len(results), len(want))
 	}
@@ -146,6 +147,51 @@ func TestCommittedBaselineParses(t *testing.T) {
 	if speedup < 1.5 && allocDrop < 0.40 {
 		t.Fatalf("recorded point no longer beats the baseline: %.2fx, %.0f%% fewer allocs",
 			speedup, allocDrop*100)
+	}
+}
+
+// TestCommittedFrontierPoint guards the second committed trajectory
+// point: BENCH_2.json must stay loadable and keep the frontier PR's
+// acceptance claims machine-checked in host-independent counters — the
+// frontier executor's computed evals within series x (ceil(log2 axis) +
+// C), at least 2x below the dense count, with dominance-implied rows
+// making up exactly the difference. The suite rates are host-bound, but
+// both executors were measured in the same run on the same host, so
+// their ratio must favor the frontier.
+func TestCommittedFrontierPoint(t *testing.T) {
+	rep, err := Load("../../BENCH_2.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Counters
+	series, axis := c["curve_series"], c["curve_axis_points"]
+	if series == 0 || axis < 2 {
+		t.Fatalf("BENCH_2.json lost the curve grid shape: series=%d axis=%d", series, axis)
+	}
+	logAxis := uint64(bits.Len64(axis - 1)) // ceil(log2 axis)
+	const spillC = 8                        // bound on the corpus' per-series spill regions
+	if bound := series * (logAxis + spillC); c["frontier_eval_computed"] > bound {
+		t.Fatalf("frontier computed %d evals over %d series x %d axis points, above series x (log2 axis + %d) = %d",
+			c["frontier_eval_computed"], series, axis, spillC, bound)
+	}
+	if c["dense_eval_computed"] < 2*c["frontier_eval_computed"] {
+		t.Fatalf("eval reduction claim lost: dense %d vs frontier %d computed evals",
+			c["dense_eval_computed"], c["frontier_eval_computed"])
+	}
+	if c["frontier_rows_implied"] == 0 {
+		t.Fatal("BENCH_2.json records no dominance-implied rows")
+	}
+	if got := c["frontier_rows_computed"] + c["frontier_rows_implied"]; got != series*axis {
+		t.Fatalf("rows %d computed + %d implied != %d grid cells",
+			c["frontier_rows_computed"], c["frontier_rows_implied"], series*axis)
+	}
+	dense, frontier := rep.Suite("curve-dense"), rep.Suite("curve-frontier")
+	if dense == nil || frontier == nil {
+		t.Fatal("BENCH_2.json lost the curve suites")
+	}
+	if frontier.UnitsPerSec <= dense.UnitsPerSec {
+		t.Fatalf("recorded frontier rate %.0f rows/sec does not beat dense %.0f",
+			frontier.UnitsPerSec, dense.UnitsPerSec)
 	}
 }
 

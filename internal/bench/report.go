@@ -169,17 +169,23 @@ func Compare(cur, base *Report, maxRegressPct float64) error {
 
 // Counters runs one deterministic kernels-corpus sweep on a fresh
 // engine and snapshots the per-stage cache counters: how many
-// schedule/base/eval computations the grid actually costs. quick
-// shrinks the register axis (CI smoke); both variants are fully
-// deterministic, so counter drift in a report diff is a real
-// architecture change.
+// schedule/base/eval computations the grid actually costs. It then
+// races the frontier executor against the dense one over a dense
+// register axis (fresh engine each) and records both eval counts plus
+// the axis shape, pinning the dominance-pruning claim as
+// host-independent numbers: frontier_eval_computed must stay within
+// curve_series x (ceil(log2 curve_axis_points) + spill region) while
+// dense_eval_computed is curve_series x curve_axis_points. quick
+// shrinks the grids (CI smoke); both variants are fully deterministic,
+// so counter drift in a report diff is a real architecture change.
 func Counters(ctx context.Context, quick bool) (map[string]uint64, error) {
+	ks := loops.Kernels()
 	regs := []int{16, 32, 64}
 	if quick {
 		regs = []int{32}
 	}
 	grid := sweep.Grid{
-		Corpus:   loops.Kernels(),
+		Corpus:   ks,
 		Machines: []*machine.Config{machine.Eval(3), machine.Eval(6)},
 		Models:   core.Models[:],
 		Regs:     regs,
@@ -198,5 +204,34 @@ func Counters(ctx context.Context, quick bool) (map[string]uint64, error) {
 		out["stage_"+s.name+"_computed"] = s.cs.Misses
 		out["stage_"+s.name+"_memory_hits"] = s.cs.Hits
 	}
+
+	// Frontier vs dense over a register-axis curve grid. The full axis
+	// (8:128:4, 31 points, both machines) spans heavy spill pressure
+	// through comfortable fit; quick keeps one machine and a short axis.
+	curveGrid := sweep.Grid{
+		Corpus:   ks,
+		Machines: []*machine.Config{machine.Eval(3), machine.Eval(6)},
+		Models:   core.Models[:],
+		Regs:     regsRange(8, 128, 4),
+	}
+	if quick {
+		curveGrid.Machines = []*machine.Config{machine.Eval(6)}
+		curveGrid.Regs = regsRange(16, 64, 8)
+	}
+	feng := sweep.New(0)
+	if err := feng.SweepFrontier(ctx, curveGrid, func(sweep.Result) {}, sweep.FrontierOptions{}); err != nil {
+		return nil, err
+	}
+	fst := feng.StageStats()
+	deng := sweep.New(0)
+	if err := deng.Sweep(ctx, curveGrid, func(sweep.Result) {}); err != nil {
+		return nil, err
+	}
+	out["curve_axis_points"] = uint64(len(curveGrid.Regs))
+	out["curve_series"] = uint64(len(ks) * len(curveGrid.Machines) * len(curveGrid.Models))
+	out["frontier_eval_computed"] = fst.Eval.Misses
+	out["frontier_rows_computed"] = fst.RowsComputed
+	out["frontier_rows_implied"] = fst.RowsImplied
+	out["dense_eval_computed"] = deng.StageStats().Eval.Misses
 	return out, nil
 }

@@ -102,6 +102,7 @@ func (e *Engine) SweepUnitsObserved(ctx context.Context, grid Grid, units []Unit
 		} else {
 			r.Fill(res)
 		}
+		e.rowsComputed.Add(1)
 		if done != nil {
 			done()
 		}
@@ -129,6 +130,7 @@ func (e *Engine) sweepUnitsFlat(ctx context.Context, grid Grid, units []Unit, em
 		} else {
 			r.Fill(res)
 		}
+		e.rowsComputed.Add(1)
 		out.put(i, r)
 		return nil
 	})
