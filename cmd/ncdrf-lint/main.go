@@ -2,26 +2,38 @@
 // compatible driver for the analyzers in internal/analysis that
 // machine-enforce the rules the sweep/curve/store stack rests on —
 // byte-identical plan-order streams (detrange), immutable pipeline
-// stage artifacts (stagemut), threaded cancellation (ctxflow) and
-// clock/randomness-free deterministic paths (wallclock).
+// stage artifacts (stagemut), threaded cancellation (ctxflow),
+// clock/randomness-free deterministic paths (wallclock), joined
+// goroutines (goleak), pool hygiene (poolescape), lock discipline
+// (lockdisc) and guarded shared mutation (sharedmut).
 //
 // Two equivalent invocations:
 //
 //	go build -o ncdrf-lint ./cmd/ncdrf-lint
 //	go vet -vettool=$PWD/ncdrf-lint ./...
 //
-// or standalone (re-executes go vet -vettool on itself):
+// or standalone (an in-process driver that loads packages with
+// `go list`, analyzes them in dependency order and threads analyzer
+// facts across package boundaries):
 //
 //	go run ./cmd/ncdrf-lint ./...
 //
+// The standalone form accepts -json, which emits findings — including
+// suppressed ones, marked as such — as a JSON array on stdout.
+//
 // Exceptions carry a `//lint:allow <analyzer> -- rationale` directive
-// on or directly above the offending line; DESIGN.md ("Enforced
-// invariants") documents each analyzer's rule.
+// on or directly above the offending line; a directive naming an
+// analyzer that does not exist is itself reported. DESIGN.md
+// ("Enforced invariants") documents each analyzer's rule.
 package main
 
 import (
 	"ncdrf/internal/analysis/ctxflow"
 	"ncdrf/internal/analysis/detrange"
+	"ncdrf/internal/analysis/goleak"
+	"ncdrf/internal/analysis/lockdisc"
+	"ncdrf/internal/analysis/poolescape"
+	"ncdrf/internal/analysis/sharedmut"
 	"ncdrf/internal/analysis/stagemut"
 	"ncdrf/internal/analysis/unitchecker"
 	"ncdrf/internal/analysis/wallclock"
@@ -33,5 +45,9 @@ func main() {
 		stagemut.Analyzer,
 		ctxflow.Analyzer,
 		wallclock.Analyzer,
+		goleak.Analyzer,
+		poolescape.Analyzer,
+		lockdisc.Analyzer,
+		sharedmut.Analyzer,
 	)
 }

@@ -21,6 +21,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 )
 
 // An Analyzer describes one analysis: a named, documented check over a
@@ -38,6 +39,12 @@ type Analyzer struct {
 	// Pass.Report / Pass.Reportf; the error return is for analysis
 	// failures (not findings).
 	Run func(*Pass) error
+
+	// FactTypes lists the concrete fact types this analyzer may export
+	// or import (facts.go), one zero-valued pointer per type. An
+	// analyzer that declares none is fact-free and its passes reject
+	// fact calls.
+	FactTypes []Fact
 }
 
 // A Pass provides one analyzer run with a single type-checked package
@@ -52,6 +59,61 @@ type Pass struct {
 	// Report delivers one diagnostic. The driver owns suppression
 	// (directives.go) and ordering; analyzers just report.
 	Report func(Diagnostic)
+
+	// facts is the driver-owned store backing the fact methods below:
+	// imported dependency facts plus whatever this unit exports.
+	facts *FactSet
+}
+
+// ExportObjectFact records fact about obj for dependent packages. obj
+// must belong to the package under analysis and fact's type must be
+// declared in the analyzer's FactTypes; both are programming errors,
+// so they panic rather than return.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.checkFact(fact)
+	if obj == nil || obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("analysis: %s: ExportObjectFact on object outside package %s", p.Analyzer.Name, p.Pkg.Path()))
+	}
+	p.facts.putObject(obj, fact)
+}
+
+// ImportObjectFact copies into fact the fact of its concrete type
+// previously exported about obj — by this unit or any dependency — and
+// reports whether one exists.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	p.checkFact(fact)
+	if obj == nil {
+		return false
+	}
+	return p.facts.getObject(obj, fact)
+}
+
+// ExportPackageFact records fact about the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.checkFact(fact)
+	p.facts.putPackage(p.Pkg.Path(), fact)
+}
+
+// ImportPackageFact copies into fact the fact of its concrete type
+// about pkg and reports whether one exists.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	p.checkFact(fact)
+	if pkg == nil {
+		return false
+	}
+	return p.facts.getPackage(pkg.Path(), fact)
+}
+
+// checkFact panics unless fact's concrete type is declared in the
+// analyzer's FactTypes — the declaration is what lets drivers register
+// the type with gob before any unit is analyzed.
+func (p *Pass) checkFact(fact Fact) {
+	for _, f := range p.Analyzer.FactTypes {
+		if reflect.TypeOf(f) == reflect.TypeOf(fact) {
+			return
+		}
+	}
+	panic(fmt.Sprintf("analysis: %s: fact type %T not declared in FactTypes", p.Analyzer.Name, fact))
 }
 
 // A Diagnostic is one finding, anchored to a source position.

@@ -42,9 +42,16 @@ import (
 // Run loads each fixture package below testdata/src, applies the
 // analyzer and matches its findings against the package's want
 // comments.
+//
+// Packages are analyzed in the order given over one shared fact set,
+// so listing a dependency before its importer exercises cross-package
+// fact flow exactly as the topological drivers run it. Suppressed
+// findings are excluded from matching — a line carrying an allow
+// directive and no want comment asserts the suppression works.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	l := newLoader(filepath.Join(testdata, "src"))
+	facts := analysis.NewFactSet()
 	for _, path := range pkgPaths {
 		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
 			t.Helper()
@@ -52,11 +59,11 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 			if err != nil {
 				t.Fatalf("loading fixture package %s: %v", path, err)
 			}
-			findings, err := analysis.RunPackage(l.fset, pkg.files, pkg.pkg, pkg.info, []*analysis.Analyzer{a})
+			findings, err := analysis.RunPackage(l.fset, pkg.files, pkg.pkg, pkg.info, []*analysis.Analyzer{a}, facts)
 			if err != nil {
 				t.Fatalf("running %s on %s: %v", a.Name, path, err)
 			}
-			check(t, l.fset, pkg.files, findings)
+			check(t, l.fset, pkg.files, analysis.Unsuppressed(findings))
 		})
 	}
 }

@@ -22,7 +22,21 @@ const directivePrefix = "//lint:allow"
 type Suppressions struct {
 	// byFile: filename -> line of the directive -> analyzer names allowed.
 	byFile map[string]map[int]map[string]bool
+
+	// directives retains each parsed directive with its position, in
+	// source order, so the driver can run the expiry check: a directive
+	// naming an analyzer that no longer exists is itself a finding.
+	directives []Directive
 }
+
+// A Directive is one parsed //lint:allow comment.
+type Directive struct {
+	Pos   token.Pos
+	Names []string
+}
+
+// Directives returns every parsed allow directive, in scan order.
+func (s *Suppressions) Directives() []Directive { return s.directives }
 
 // CollectSuppressions scans the files' comments for allow directives.
 // Files must have been parsed with parser.ParseComments.
@@ -35,6 +49,7 @@ func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 				if !ok {
 					continue
 				}
+				s.directives = append(s.directives, Directive{Pos: c.Slash, Names: names})
 				pos := fset.Position(c.Slash)
 				lines := s.byFile[pos.Filename]
 				if lines == nil {

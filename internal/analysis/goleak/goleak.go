@@ -1,0 +1,202 @@
+// Package goleak machine-enforces the goroutine-ownership rule: every
+// goroutine reachable from an exported entry point must have a joining
+// mechanism — a sync.WaitGroup, a done/result channel, or a consulted
+// context — visible at its spawn site. A long-running `ncdrf serve`
+// cannot tolerate fire-and-forget goroutines: each one pins its
+// closure (engines, caches, row buffers) for the process lifetime and
+// escapes every cancellation the caller arranges.
+//
+// The check is interprocedural: a function that spawns an unjoined
+// goroutine — directly or by calling one that does — carries a
+// SpawnsUnjoined fact, so a thin exported wrapper around a leaky
+// unexported helper is flagged at the API boundary, and a package
+// calling a leaky dependency is flagged at its own call site through
+// the cross-package fact flow.
+package goleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ncdrf/internal/analysis"
+)
+
+// SpawnsUnjoined marks a function that starts (transitively) a
+// goroutine with no visible joining mechanism. Origin names the
+// function containing the actual go statement, for the diagnostic.
+type SpawnsUnjoined struct {
+	Origin string
+}
+
+// AFact marks SpawnsUnjoined as a fact type.
+func (*SpawnsUnjoined) AFact() {}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "goleak",
+	Doc:       "flag goroutines reachable from exported entry points with no join (WaitGroup, channel) and no consulted context",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*SpawnsUnjoined)(nil)},
+}
+
+// fnInfo is one function declaration's scan result.
+type fnInfo struct {
+	decl    *ast.FuncDecl
+	obj     *types.Func
+	spawns  []*ast.GoStmt // direct unjoined go statements
+	callees []*types.Func // every resolved callee, for propagation
+}
+
+func run(pass *analysis.Pass) error {
+	var fns []*fnInfo
+	byObj := make(map[*types.Func]*fnInfo)
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			fi := &fnInfo{decl: fd, obj: obj}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					if !joined(pass, n) {
+						fi.spawns = append(fi.spawns, n)
+					}
+				case *ast.CallExpr:
+					if callee := analysis.Callee(pass.TypesInfo, n); callee != nil {
+						fi.callees = append(fi.callees, callee)
+					}
+				}
+				return true
+			})
+			fns = append(fns, fi)
+			byObj[obj] = fi
+		}
+	}
+
+	// Interprocedural propagation: origin[f] is set when f spawns
+	// unjoined goroutines itself or calls a function that does —
+	// locally (fixpoint over the package call graph) or in a
+	// dependency (imported fact).
+	origin := make(map[*types.Func]string)
+	for _, fi := range fns {
+		if len(fi.spawns) > 0 {
+			origin[fi.obj] = fi.obj.FullName()
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			if _, ok := origin[fi.obj]; ok {
+				continue
+			}
+			for _, callee := range fi.callees {
+				if o, ok := origin[callee]; ok {
+					origin[fi.obj] = o
+					changed = true
+					break
+				}
+				var fact SpawnsUnjoined
+				if callee.Pkg() != pass.Pkg && pass.ImportObjectFact(callee, &fact) {
+					origin[fi.obj] = fact.Origin
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for obj, o := range origin {
+		pass.ExportObjectFact(obj, &SpawnsUnjoined{Origin: o})
+	}
+
+	// Diagnostics, at API boundaries only: a direct unjoined spawn in
+	// an entry point, and an entry point's call into a leaky function
+	// it cannot be expected to know the internals of (unexported
+	// helper, or any function of another package).
+	for _, fi := range fns {
+		if !entryPoint(pass, fi.decl) {
+			continue
+		}
+		for _, g := range fi.spawns {
+			pass.Reportf(g.Pos(), "goroutine started by %s is never joined; use a WaitGroup or done channel, or consult a context", fi.obj.Name())
+		}
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.Callee(pass.TypesInfo, call)
+			if callee == nil || callee == fi.obj {
+				return true
+			}
+			foreign := callee.Pkg() != pass.Pkg
+			if !foreign && callee.Exported() {
+				// Flagged at its own declaration already.
+				return true
+			}
+			o, ok := origin[callee]
+			if !ok {
+				var fact SpawnsUnjoined
+				if !foreign || !pass.ImportObjectFact(callee, &fact) {
+					return true
+				}
+				o = fact.Origin
+			}
+			pass.Reportf(call.Pos(), "call to %s spawns an unjoined goroutine (go statement in %s); join it or consult a context", callee.Name(), o)
+			return true
+		})
+	}
+	return nil
+}
+
+// entryPoint reports whether fd is an API boundary the rule binds:
+// an exported function or method, or main.main.
+func entryPoint(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Name.IsExported() {
+		return true
+	}
+	return pass.Pkg.Name() == "main" && fd.Name.Name == "main" && fd.Recv == nil
+}
+
+// joined reports whether the go statement has a visible joining or
+// supervision mechanism: its subtree (function literal body included)
+// calls (*sync.WaitGroup).Done/Wait, touches any channel-typed value
+// (done channels, result channels, ticker/timer channels), or consults
+// a context.Context. The check is deliberately a spawn-site heuristic,
+// not an escape analysis; //lint:allow goleak with a rationale is the
+// out for supervised exceptions it cannot see.
+func joined(pass *analysis.Pass, g *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(g, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := analysis.Callee(pass.TypesInfo, n); fn != nil {
+				if recv, ok := analysis.IsMethod(fn); ok &&
+					analysis.IsNamedType(recv, "sync", "WaitGroup") &&
+					(fn.Name() == "Done" || fn.Name() == "Wait") {
+					found = true
+				}
+			}
+		case ast.Expr:
+			if t := pass.TypesInfo.TypeOf(n); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				} else if analysis.IsContextType(t) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

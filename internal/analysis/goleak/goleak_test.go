@@ -1,0 +1,13 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"ncdrf/internal/analysis/analysistest"
+	"ncdrf/internal/analysis/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	// a before b: b's expectations depend on the facts a exports.
+	analysistest.Run(t, "testdata", goleak.Analyzer, "a", "b")
+}

@@ -1,0 +1,62 @@
+// Package a is the goleak fixture: spawn sites in one package.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+func compute() {}
+
+func watch(ctx context.Context) {}
+
+// LeakDirect fires and forgets at an exported boundary: flagged at the
+// go statement itself.
+func LeakDirect() {
+	go compute() // want `goroutine started by LeakDirect is never joined`
+}
+
+// leakHelper is unexported, so its own go statement is not an API
+// boundary — it only earns the SpawnsUnjoined fact.
+func leakHelper() {
+	go compute()
+}
+
+// Wrapped is the thin exported wrapper the interprocedural rule
+// exists for: the leak surfaces at its call into the helper.
+func Wrapped() {
+	leakHelper() // want `call to leakHelper spawns an unjoined goroutine \(go statement in a\.leakHelper\)`
+}
+
+// JoinedWG joins through a WaitGroup: clean.
+func JoinedWG() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		compute()
+	}()
+	wg.Wait()
+}
+
+// JoinedChan supervises through a done channel: clean.
+func JoinedChan() {
+	done := make(chan struct{})
+	go func() {
+		compute()
+		close(done)
+	}()
+	<-done
+}
+
+// JoinedCtx hands the goroutine a context to consult: clean.
+func JoinedCtx(ctx context.Context) {
+	go watch(ctx)
+}
+
+// Detached documents its exception: the directive suppresses the
+// finding and the line asserts silence.
+func Detached() {
+	//lint:allow goleak -- fixture: process-lifetime goroutine, owns nothing cancellable
+	go compute()
+}

@@ -1,0 +1,27 @@
+// Package b is the goleak cross-package fixture: the leaks live in
+// package a and reach b only through SpawnsUnjoined facts.
+package b
+
+import "a"
+
+// Calls is flagged at its own boundary: the fact imported for
+// a.Wrapped carries the original spawn site.
+func Calls() {
+	a.Wrapped() // want `call to Wrapped spawns an unjoined goroutine \(go statement in a\.leakHelper\)`
+}
+
+// CallsDirect hits a function whose own declaration was already
+// flagged in a; the call site here is still b's leak to own.
+func CallsDirect() {
+	a.LeakDirect() // want `call to LeakDirect spawns an unjoined goroutine \(go statement in a\.LeakDirect\)`
+}
+
+// quiet is not an API boundary, so its call stays silent.
+func quiet() {
+	a.Wrapped()
+}
+
+// CallsJoined uses the clean API: no diagnostic.
+func CallsJoined() {
+	a.JoinedWG()
+}

@@ -1,0 +1,14 @@
+package lockdisc_test
+
+import (
+	"testing"
+
+	"ncdrf/internal/analysis/analysistest"
+	"ncdrf/internal/analysis/lockdisc"
+)
+
+func TestLockdisc(t *testing.T) {
+	// ld before m: m's expectations depend on ld's Blocks/HoldsLock/
+	// ReleasesLock facts.
+	analysistest.Run(t, "testdata", lockdisc.Analyzer, "ld", "m")
+}

@@ -1,0 +1,131 @@
+// Package ld is the lockdisc fixture: held-across-blocking and
+// lock-copy shapes in one package.
+package ld
+
+import "sync"
+
+type Cache struct {
+	mu   sync.Mutex
+	vals map[string]int
+	ch   chan int
+}
+
+// HeldRecv parks on a receive while holding mu.
+func (c *Cache) HeldRecv() int {
+	c.mu.Lock()
+	v := <-c.ch // want `lock c\.mu held across channel receive`
+	c.mu.Unlock()
+	return v
+}
+
+// HeldSend parks on a send; the deferred unlock keeps mu held to the
+// end of the function.
+func (c *Cache) HeldSend(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ch <- v // want `lock c\.mu held across channel send`
+}
+
+// HeldSelect parks on a default-less select.
+func (c *Cache) HeldSelect(done chan struct{}) {
+	c.mu.Lock()
+	select { // want `lock c\.mu held across select`
+	case <-done:
+	case v := <-c.ch:
+		c.vals["x"] = v
+	}
+	c.mu.Unlock()
+}
+
+// CleanUnlockFirst releases before parking: the blessed shape.
+func (c *Cache) CleanUnlockFirst() int {
+	c.mu.Lock()
+	c.vals["x"]++
+	c.mu.Unlock()
+	return <-c.ch
+}
+
+// CleanSelectDefault never parks: a select with default polls.
+func (c *Cache) CleanSelectDefault() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case v := <-c.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// Blocker earns the Blocks fact (channel receive) with no lock in
+// sight.
+func (c *Cache) Blocker() int {
+	return <-c.ch
+}
+
+// HeldCall reaches the park through a call: caught by the fact.
+func (c *Cache) HeldCall() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Blocker() // want `lock c\.mu held across call to Blocker, which blocks \(channel receive in .*Blocker\)`
+}
+
+// Acquire and Release are the lock/unlock helper pair: HoldsLock and
+// ReleasesLock facts, no diagnostics of their own.
+func (c *Cache) Acquire() { c.mu.Lock() }
+
+func (c *Cache) Release() { c.mu.Unlock() }
+
+// HeldViaHelper shows the held set crossing the helper boundary.
+func (c *Cache) HeldViaHelper() int {
+	c.Acquire()
+	v := <-c.ch // want `lock c\.mu held across channel receive`
+	c.Release()
+	return v
+}
+
+// CleanViaHelper releases through the helper before parking.
+func (c *Cache) CleanViaHelper() int {
+	c.Acquire()
+	c.vals["x"]++
+	c.Release()
+	return <-c.ch
+}
+
+// Allowed documents its exception.
+func (c *Cache) Allowed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//lint:allow lockdisc -- fixture: ch is buffered and private to this method
+	return <-c.ch
+}
+
+// Counter is the lock-copy half of the fixture.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func Copies(c Counter, arr [2]Counter) {
+	d := c // want `assignment copies c, whose type contains sync\.Mutex`
+	_ = d
+	e := arr[0] // want `assignment copies arr\[0\], whose type contains sync\.Mutex`
+	_ = e
+}
+
+func RangeCopy(cs []Counter) int {
+	total := 0
+	for _, c := range cs { // want `range copies lock-bearing elements into c`
+		total += c.n
+	}
+	return total
+}
+
+// CleanPointers shares, not copies.
+func CleanPointers(cs []*Counter) int {
+	total := 0
+	for _, c := range cs {
+		total += c.n
+	}
+	return total
+}

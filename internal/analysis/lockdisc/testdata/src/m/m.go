@@ -1,0 +1,40 @@
+// Package m is the lockdisc cross-package fixture: the blocking and
+// lock-helper knowledge about ld arrives only through facts.
+package m
+
+import (
+	"sync"
+
+	"ld"
+)
+
+type wrap struct {
+	mu sync.Mutex
+	c  *ld.Cache
+}
+
+// HeldForeignCall holds its own lock across a dependency call that
+// the imported Blocks fact says parks.
+func (w *wrap) HeldForeignCall() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.c.Blocker() // want `lock w\.mu held across call to Blocker, which blocks`
+}
+
+// HeldForeignHelper acquires through ld's exported helper; the
+// imported HoldsLock fact anchors the lock on this caller's receiver
+// expression.
+func Use(c *ld.Cache, ch chan int) int {
+	c.Acquire()
+	v := <-ch // want `lock c\.mu held across channel receive`
+	c.Release()
+	return v
+}
+
+// CleanUse releases (through the imported ReleasesLock fact) before
+// parking.
+func CleanUse(c *ld.Cache, ch chan int) int {
+	c.Acquire()
+	c.Release()
+	return <-ch
+}

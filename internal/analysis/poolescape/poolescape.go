@@ -1,0 +1,276 @@
+// Package poolescape machine-enforces the sync.Pool ownership rule a
+// pooled row encoder lives or dies by: a value taken from a pool is a
+// loan. It must not be stored to a heap location that can outlive the
+// Put — a package-level variable, a struct field, a map/slice element,
+// a channel — and it must not be touched after the Put hands it back,
+// because the pool may already have re-issued it to another goroutine
+// (the corruption is silent and, worse for this repo, nondeterministic).
+//
+// A function that returns a pooled value instead of Putting it
+// transfers the loan to its caller; that is legal and recorded as a
+// ReturnsPooled fact, so callers in other packages have their stores
+// of the borrowed value checked too.
+//
+// The check is lexical, not flow-sensitive: "after Put" means after
+// the function's last Put of that value in source order, which accepts
+// the early-return `if err { pool.Put(e); return err }` shape without
+// a false positive. //lint:allow poolescape documents anything
+// cleverer.
+package poolescape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ncdrf/internal/analysis"
+)
+
+// ReturnsPooled marks a function whose return value is on loan from a
+// sync.Pool: the caller inherits the escape/use-after-Put obligations.
+type ReturnsPooled struct{}
+
+// AFact marks ReturnsPooled as a fact type.
+func (*ReturnsPooled) AFact() {}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "poolescape",
+	Doc:       "flag sync.Pool values stored to locations outliving their Put, or used after it",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*ReturnsPooled)(nil)},
+}
+
+func run(pass *analysis.Pass) error {
+	var fns []*ast.FuncDecl
+	objOf := make(map[*ast.FuncDecl]*types.Func)
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func); obj != nil {
+					fns = append(fns, fd)
+					objOf[fd] = obj
+				}
+			}
+		}
+	}
+
+	// Round 1, to fixpoint: which local functions return a pooled
+	// value. Must settle before diagnostics so `w := wrapper()` is
+	// recognized as a loan regardless of declaration order.
+	returns := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range fns {
+			obj := objOf[fd]
+			if returns[obj] {
+				continue
+			}
+			c := newChecker(pass, returns)
+			c.scan(fd.Body)
+			if c.returnsPooled {
+				returns[obj] = true
+				changed = true
+			}
+		}
+	}
+	for obj := range returns {
+		pass.ExportObjectFact(obj, &ReturnsPooled{})
+	}
+
+	// Round 2: diagnostics.
+	for _, fd := range fns {
+		c := newChecker(pass, returns)
+		c.report = pass.Reportf
+		c.scan(fd.Body)
+	}
+	return nil
+}
+
+// checker analyzes one function body. report is nil during the
+// fact-only fixpoint round.
+type checker struct {
+	pass    *analysis.Pass
+	returns map[*types.Func]bool
+
+	pooled map[types.Object]bool
+	// lastPut maps a pooled variable to its last pool.Put(v) call in
+	// source order; uses lexically after it are use-after-Put.
+	lastPut map[types.Object]*ast.CallExpr
+
+	returnsPooled bool
+	report        func(token.Pos, string, ...any)
+}
+
+func newChecker(pass *analysis.Pass, returns map[*types.Func]bool) *checker {
+	return &checker{
+		pass:    pass,
+		returns: returns,
+		pooled:  make(map[types.Object]bool),
+		lastPut: make(map[types.Object]*ast.CallExpr),
+	}
+}
+
+// scan analyzes body; afterwards c.returnsPooled reports whether the
+// function transfers a loan to its caller.
+func (c *checker) scan(body *ast.BlockStmt) {
+	// Pass A: find the loans — variables assigned from pool.Get, from
+	// a ReturnsPooled function, or aliasing another loan — iterating
+	// so chains settle independent of source order.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			st, ok := n.(*ast.AssignStmt)
+			if !ok || len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := c.objectOf(id)
+				if obj == nil || c.pooled[obj] {
+					continue
+				}
+				if c.isPooledExpr(st.Rhs[i]) {
+					c.pooled[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	// No early exit on an empty loan set: a body like
+	// `return pool.Get().(*T)` has no pooled *variable* but still
+	// transfers a loan, which pass C's return check must see.
+
+	// Pass B: the last Put of each loan.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		fn := analysis.Callee(c.pass.TypesInfo, call)
+		recv, isM := analysis.IsMethod(fn)
+		if !isM || fn.Name() != "Put" || !analysis.IsNamedType(recv, "sync", "Pool") {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := c.objectOf(id); obj != nil && c.pooled[obj] {
+				c.lastPut[obj] = call
+			}
+		}
+		return true
+	})
+
+	// Pass C: violations.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				id, ok := ast.Unparen(rhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := c.objectOf(id)
+				if obj == nil || !c.pooled[obj] {
+					continue
+				}
+				if loc := c.heapLocation(n.Lhs[i]); loc != "" {
+					c.reportf(n.Pos(), "pooled value %s stored to %s, which may outlive its Put; copy the contents instead", id.Name, loc)
+				}
+			}
+		case *ast.SendStmt:
+			if id, ok := ast.Unparen(n.Value).(*ast.Ident); ok {
+				if obj := c.objectOf(id); obj != nil && c.pooled[obj] {
+					c.reportf(n.Pos(), "pooled value %s sent on a channel; the receiver may outlive its Put", id.Name)
+				}
+			}
+		case *ast.ReturnStmt:
+			// `return e` and `return pool.Get().(*T)` both transfer
+			// the loan.
+			for _, res := range n.Results {
+				if c.isPooledExpr(res) {
+					c.returnsPooled = true
+				}
+			}
+		case *ast.Ident:
+			obj := c.objectOf(n)
+			if obj == nil || !c.pooled[obj] {
+				return true
+			}
+			put := c.lastPut[obj]
+			if put != nil && n.Pos() > put.End() {
+				c.reportf(n.Pos(), "pooled value %s used after Put; the pool may have re-issued it", n.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isPooledExpr reports whether e yields a loaned pool value: a
+// (*sync.Pool).Get call, a call to a ReturnsPooled function (local or
+// imported fact), or an alias of an existing loan — looked through
+// parens and type assertions, the `pool.Get().(*T)` idiom.
+func (c *checker) isPooledExpr(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok && ta.Type != nil {
+		e = ast.Unparen(ta.X)
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := c.objectOf(e)
+		return obj != nil && c.pooled[obj]
+	case *ast.CallExpr:
+		fn := analysis.Callee(c.pass.TypesInfo, e)
+		if fn == nil {
+			return false
+		}
+		if recv, ok := analysis.IsMethod(fn); ok && fn.Name() == "Get" && analysis.IsNamedType(recv, "sync", "Pool") {
+			return true
+		}
+		if c.returns[fn] {
+			return true
+		}
+		var fact ReturnsPooled
+		return fn.Pkg() != c.pass.Pkg && c.pass.ImportObjectFact(fn, &fact)
+	}
+	return false
+}
+
+// heapLocation classifies an assignment target that can outlive the
+// function frame; "" means a plain local and is fine.
+func (c *checker) heapLocation(lhs ast.Expr) string {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return types.ExprString(lhs)
+	case *ast.IndexExpr:
+		return types.ExprString(lhs)
+	case *ast.StarExpr:
+		return types.ExprString(lhs)
+	case *ast.Ident:
+		if obj := c.objectOf(lhs); obj != nil && obj.Parent() == c.pass.Pkg.Scope() {
+			return lhs.Name
+		}
+	}
+	return ""
+}
+
+func (c *checker) objectOf(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	if c.report != nil {
+		c.report(pos, format, args...)
+	}
+}

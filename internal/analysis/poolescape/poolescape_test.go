@@ -1,0 +1,13 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"ncdrf/internal/analysis/analysistest"
+	"ncdrf/internal/analysis/poolescape"
+)
+
+func TestPoolescape(t *testing.T) {
+	// pp before q: q's expectations depend on pp's ReturnsPooled fact.
+	analysistest.Run(t, "testdata", poolescape.Analyzer, "pp", "q")
+}

@@ -1,0 +1,96 @@
+// Package pp is the poolescape fixture: loans inside one package.
+package pp
+
+import "sync"
+
+// Enc stands in for the pooled row encoder.
+type Enc struct{ Buf []byte }
+
+var pool = sync.Pool{New: func() any { return new(Enc) }}
+
+var sink *Enc
+
+type holder struct{ e *Enc }
+
+// UseAfterPut touches the loan after handing it back.
+func UseAfterPut() int {
+	e := pool.Get().(*Enc)
+	pool.Put(e)
+	return len(e.Buf) // want `pooled value e used after Put`
+}
+
+// EscapeGlobal parks the loan in a package-level variable.
+func EscapeGlobal() {
+	e := pool.Get().(*Enc)
+	sink = e // want `pooled value e stored to sink, which may outlive its Put`
+	pool.Put(e)
+}
+
+// EscapeField parks it in a struct field reachable by the caller.
+func EscapeField(h *holder) {
+	e := pool.Get().(*Enc)
+	h.e = e // want `pooled value e stored to h\.e`
+	pool.Put(e)
+}
+
+// EscapeChan hands it to whoever is on the other end.
+func EscapeChan(ch chan *Enc) {
+	e := pool.Get().(*Enc)
+	ch <- e // want `pooled value e sent on a channel`
+	pool.Put(e)
+}
+
+// EscapeAlias escapes through an alias of the loan.
+func EscapeAlias() {
+	e := pool.Get().(*Enc)
+	w := e
+	sink = w // want `pooled value w stored to sink`
+	pool.Put(e)
+}
+
+// Clean is the blessed get/use/put shape.
+func Clean() int {
+	e := pool.Get().(*Enc)
+	n := len(e.Buf)
+	pool.Put(e)
+	return n
+}
+
+// CleanEarlyReturn puts on the error path and again at the end; the
+// uses between the two are not "after Put" (last-Put semantics).
+func CleanEarlyReturn(fail bool) int {
+	e := pool.Get().(*Enc)
+	if fail {
+		pool.Put(e)
+		return 0
+	}
+	n := len(e.Buf)
+	pool.Put(e)
+	return n
+}
+
+// GetEnc transfers the loan to the caller: a ReturnsPooled fact, no
+// diagnostic here.
+func GetEnc() *Enc {
+	return pool.Get().(*Enc)
+}
+
+// getWrapped chains the transfer through a local wrapper.
+func getWrapped() *Enc {
+	return GetEnc()
+}
+
+// EscapeViaWrapper shows the loan is tracked through the local chain.
+func EscapeViaWrapper() {
+	e := getWrapped()
+	sink = e // want `pooled value e stored to sink`
+	pool.Put(e)
+}
+
+// Allowed documents its exception.
+func Allowed() {
+	e := pool.Get().(*Enc)
+	//lint:allow poolescape -- fixture: sink is cleared before the pool is touched again
+	sink = e
+	pool.Put(e)
+}

@@ -1,0 +1,21 @@
+// Package q is the poolescape cross-package fixture: the loan
+// originates in pp and reaches q only through the ReturnsPooled fact
+// on pp.GetEnc.
+package q
+
+import "pp"
+
+var keep *pp.Enc
+
+// Hold stores a borrowed value it got from another package.
+func Hold() {
+	e := pp.GetEnc()
+	keep = e // want `pooled value e stored to keep`
+}
+
+// Copy is the blessed way to keep the bytes.
+func Copy() []byte {
+	e := pp.GetEnc()
+	out := append([]byte(nil), e.Buf...)
+	return out
+}

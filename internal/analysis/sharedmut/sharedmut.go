@@ -1,0 +1,508 @@
+// Package sharedmut machine-enforces the shared-mutation rule on the
+// engine's state structs (the scheduler arena, the reorder buffer, the
+// stage counters): a struct field written both from goroutine-reachable
+// code and from synchronous code must be guarded — a held mutex, a
+// sync.Once body, or atomics (atomic operations are calls, not
+// assignments, so they never appear as raw writes at all).
+//
+// "Goroutine-reachable" is computed interprocedurally: a function
+// called from a go statement is async, and so is everything it calls;
+// a func-typed parameter invoked from a goroutine makes its function
+// carry an AsyncParams fact, so a closure handed to a worker pool
+// (sweep.ForEach and its wrappers) is async even when the pool lives in
+// another package. A type whose fields are consistently guarded earns a
+// Guards fact, and an unguarded write to such a field from a dependent
+// package is flagged against the home package's discipline.
+//
+// The mixed-context requirement — at least one async and at least one
+// synchronous write site — is deliberate: a struct whose every write is
+// async is usually a per-call arena confined to one worker (the
+// scheduler's imsState), which is exactly the ownership model the
+// engine is built on, and not a data race the analyzer can see.
+// //lint:allow sharedmut documents the cases it gets wrong.
+package sharedmut
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"ncdrf/internal/analysis"
+)
+
+// AsyncParams marks a function that invokes its func-typed parameters
+// at the given indices from a goroutine — a worker pool's shape.
+type AsyncParams struct {
+	Indices []int
+}
+
+// AFact marks AsyncParams as a fact type.
+func (*AsyncParams) AFact() {}
+
+// FieldGuard is one entry of a Guards fact: the named field's write
+// sites all sit under the given guard ("mu" or "once").
+type FieldGuard struct {
+	Field string
+	Guard string
+}
+
+// Guards marks a type whose listed fields are consistently guarded in
+// the defining package, so dependent packages inherit the discipline.
+type Guards struct {
+	Fields []FieldGuard
+}
+
+// AFact marks Guards as a fact type.
+func (*Guards) AFact() {}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "sharedmut",
+	Doc:       "flag struct fields written unguarded from both goroutine-reachable and synchronous code",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*AsyncParams)(nil), (*Guards)(nil)},
+}
+
+// site is one recorded field write.
+type site struct {
+	fn    *types.Func
+	pos   token.Pos
+	field *types.Var
+	owner *types.TypeName
+	guard string // "", "mu", "once"
+	async bool
+}
+
+// wctx is the walk context of one function body region.
+type wctx struct {
+	fn    *types.Func     // enclosing declared function
+	async bool            // inside goroutine-reachable code
+	once  bool            // inside a (*sync.Once).Do body
+	held  map[string]bool // mutexes held, lexically (per body)
+	fresh map[types.Object]bool
+}
+
+type scanner struct {
+	pass       *analysis.Pass
+	fns        []*ast.FuncDecl
+	objOf      map[*ast.FuncDecl]*types.Func
+	asyncFns   map[*types.Func]bool
+	asyncParam map[*types.Var]bool
+	consumed   map[*ast.FuncLit]bool
+	sites      []*site
+	changed    bool
+}
+
+func run(pass *analysis.Pass) error {
+	s := &scanner{
+		pass:       pass,
+		objOf:      make(map[*ast.FuncDecl]*types.Func),
+		asyncFns:   make(map[*types.Func]bool),
+		asyncParam: make(map[*types.Var]bool),
+		consumed:   make(map[*ast.FuncLit]bool),
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func); obj != nil {
+					s.fns = append(s.fns, fd)
+					s.objOf[fd] = obj
+				}
+			}
+		}
+	}
+
+	// Scan to fixpoint: the async-function and async-parameter sets
+	// grow monotonically as goroutine reachability propagates through
+	// the call graph; the final iteration's sites carry stable flags.
+	for {
+		s.sites = nil
+		s.changed = false
+		for _, fd := range s.fns {
+			obj := s.objOf[fd]
+			s.walk(fd.Body, wctx{
+				fn:    obj,
+				async: s.asyncFns[obj],
+				held:  make(map[string]bool),
+				fresh: make(map[types.Object]bool),
+			})
+		}
+		if !s.changed {
+			break
+		}
+	}
+
+	// Export AsyncParams per function.
+	for _, fd := range s.fns {
+		obj := s.objOf[fd]
+		sig := obj.Type().(*types.Signature)
+		var idx []int
+		for i := 0; i < sig.Params().Len(); i++ {
+			if s.asyncParam[sig.Params().At(i)] {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) > 0 {
+			pass.ExportObjectFact(obj, &AsyncParams{Indices: idx})
+		}
+	}
+
+	// Group the write sites per field and judge.
+	byField := make(map[*types.Var][]*site)
+	var fields []*types.Var
+	for _, st := range s.sites {
+		st.async = st.async || s.asyncFns[st.fn]
+		if len(byField[st.field]) == 0 {
+			fields = append(fields, st.field)
+		}
+		byField[st.field] = append(byField[st.field], st)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+
+	guardsByType := make(map[*types.TypeName][]FieldGuard)
+	for _, field := range fields {
+		sites := byField[field]
+		owner := sites[0].owner
+		if owner.Pkg() != pass.Pkg {
+			// Foreign type: the home package's Guards fact is the law.
+			var fact Guards
+			if !pass.ImportObjectFact(owner, &fact) {
+				continue
+			}
+			for _, fg := range fact.Fields {
+				if fg.Field != field.Name() {
+					continue
+				}
+				for _, st := range sites {
+					if st.guard == "" {
+						pass.Reportf(st.pos, "field %s.%s is %s-guarded in its defining package; this write is unguarded", owner.Name(), field.Name(), fg.Guard)
+					}
+				}
+			}
+			continue
+		}
+
+		anyAsync, anySync, allGuard := false, false, sites[0].guard
+		for _, st := range sites {
+			if st.async {
+				anyAsync = true
+			} else {
+				anySync = true
+			}
+			if st.guard == "" || (allGuard != "" && st.guard != allGuard) {
+				allGuard = ""
+			}
+		}
+		if allGuard != "" {
+			guardsByType[owner] = append(guardsByType[owner], FieldGuard{Field: field.Name(), Guard: allGuard})
+		}
+		if !anyAsync || !anySync {
+			continue
+		}
+		for _, st := range sites {
+			if st.guard == "" {
+				pass.Reportf(st.pos, "field %s.%s is written concurrently (goroutine-reachable and synchronous sites) without a guard; hold a mutex or use atomics", owner.Name(), field.Name())
+			}
+		}
+	}
+	for owner, fgs := range guardsByType {
+		sort.Slice(fgs, func(i, j int) bool { return fgs[i].Field < fgs[j].Field })
+		pass.ExportObjectFact(owner, &Guards{Fields: fgs})
+	}
+	return nil
+}
+
+// walk traverses one body region under ctx. Function literals and go
+// statements switch context and are walked manually.
+func (s *scanner) walk(n ast.Node, ctx wctx) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			s.goStmt(n, ctx)
+			return false
+		case *ast.FuncLit:
+			if s.consumed[n] {
+				return false
+			}
+			// A plain literal not consumed by a recognized construct:
+			// same schedule assumption as its surroundings, own locks.
+			lctx := ctx
+			lctx.once = false
+			lctx.held = make(map[string]bool)
+			s.walk(n.Body, lctx)
+			return false
+		case *ast.CallExpr:
+			return s.call(n, ctx)
+		case *ast.AssignStmt:
+			s.assign(n, ctx)
+		case *ast.IncDecStmt:
+			if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+				s.recordWrite(sel, n.Pos(), ctx)
+			}
+		}
+		return true
+	})
+}
+
+// goStmt handles `go f(...)` / `go func(){...}(...)`: the arguments
+// evaluate synchronously, the invoked function runs async.
+func (s *scanner) goStmt(g *ast.GoStmt, ctx wctx) {
+	for _, arg := range g.Call.Args {
+		s.walk(arg, ctx)
+	}
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		lctx := ctx
+		lctx.async = true
+		lctx.once = false
+		lctx.held = make(map[string]bool)
+		s.walk(lit.Body, lctx)
+		return
+	}
+	s.markAsyncCallee(g.Call, ctx)
+}
+
+// markAsyncCallee records that the call's target runs on a goroutine:
+// a declared function joins asyncFns, a func parameter of the current
+// function joins asyncParam (feeding the AsyncParams fact).
+func (s *scanner) markAsyncCallee(call *ast.CallExpr, ctx wctx) {
+	if fn := analysis.Callee(s.pass.TypesInfo, call); fn != nil {
+		if fn.Pkg() == s.pass.Pkg && !s.asyncFns[fn] {
+			s.asyncFns[fn] = true
+			s.changed = true
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if v, ok := s.pass.TypesInfo.Uses[id].(*types.Var); ok && s.isParamOf(v, ctx.fn) && !s.asyncParam[v] {
+			s.asyncParam[v] = true
+			s.changed = true
+		}
+	}
+}
+
+func (s *scanner) isParamOf(v *types.Var, fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// call classifies one call under ctx and reports whether the default
+// descent should continue.
+func (s *scanner) call(call *ast.CallExpr, ctx wctx) bool {
+	fn := analysis.Callee(s.pass.TypesInfo, call)
+
+	// (*sync.Once).Do(func(){...}): the body runs exactly once across
+	// all goroutines — a guard in itself.
+	if fn != nil && fn.Name() == "Do" {
+		if recv, ok := analysis.IsMethod(fn); ok && analysis.IsNamedType(recv, "sync", "Once") && len(call.Args) == 1 {
+			if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+				lctx := ctx
+				lctx.once = true
+				lctx.held = make(map[string]bool)
+				s.walk(lit.Body, lctx)
+				return false
+			}
+		}
+	}
+
+	// Mutex acquire/release updates the lexical held set.
+	if fn != nil {
+		if recv, ok := analysis.IsMethod(fn); ok &&
+			(analysis.IsNamedType(recv, "sync", "Mutex") || analysis.IsNamedType(recv, "sync", "RWMutex")) {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				key := types.ExprString(sel.X)
+				switch fn.Name() {
+				case "Lock", "RLock":
+					ctx.held[key] = true
+				case "Unlock", "RUnlock":
+					delete(ctx.held, key)
+				}
+			}
+			return true
+		}
+	}
+
+	// An async edge in the call graph: a call from async context makes
+	// the callee async.
+	if fn != nil && ctx.async && fn.Pkg() == s.pass.Pkg && !s.asyncFns[fn] {
+		s.asyncFns[fn] = true
+		s.changed = true
+	}
+	// Invoking a func parameter from async context is the AsyncParams
+	// seed (the worker pool calling its fn).
+	if fn == nil && ctx.async {
+		s.markAsyncCallee(call, ctx)
+	}
+
+	// Arguments at the callee's async indices run on goroutines.
+	async := s.asyncIndices(fn)
+	for i, arg := range call.Args {
+		if !containsInt(async, i) {
+			continue
+		}
+		switch a := ast.Unparen(arg).(type) {
+		case *ast.FuncLit:
+			lctx := ctx
+			lctx.async = true
+			lctx.once = false
+			lctx.held = make(map[string]bool)
+			s.walk(a.Body, lctx)
+			// The default descent must not re-walk this literal with
+			// the synchronous context.
+			s.consumed[a] = true
+		case *ast.Ident:
+			switch obj := s.pass.TypesInfo.Uses[a].(type) {
+			case *types.Var:
+				if s.isParamOf(obj, ctx.fn) && !s.asyncParam[obj] {
+					s.asyncParam[obj] = true
+					s.changed = true
+				}
+			case *types.Func:
+				if obj.Pkg() == s.pass.Pkg && !s.asyncFns[obj] {
+					s.asyncFns[obj] = true
+					s.changed = true
+				}
+			}
+		}
+	}
+	return true
+}
+
+// asyncIndices resolves a callee's async parameter indices from the
+// local scan state or, cross-package, its imported AsyncParams fact.
+func (s *scanner) asyncIndices(fn *types.Func) []int {
+	if fn == nil {
+		return nil
+	}
+	if fn.Pkg() == s.pass.Pkg {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return nil
+		}
+		var idx []int
+		for i := 0; i < sig.Params().Len(); i++ {
+			if s.asyncParam[sig.Params().At(i)] {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+	var fact AsyncParams
+	if s.pass.ImportObjectFact(fn, &fact) {
+		return fact.Indices
+	}
+	return nil
+}
+
+func (s *scanner) assign(st *ast.AssignStmt, ctx wctx) {
+	// Track constructor-owned locals: a variable born from a composite
+	// literal or new() in this body is not shared yet; its field
+	// writes are initialization, not mutation.
+	if st.Tok == token.DEFINE && len(st.Lhs) == len(st.Rhs) {
+		for i, lhs := range st.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := s.pass.TypesInfo.Defs[id]; obj != nil && isConstruction(st.Rhs[i]) {
+				ctx.fresh[obj] = true
+			}
+		}
+	}
+	for _, lhs := range st.Lhs {
+		if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+			s.recordWrite(sel, st.Pos(), ctx)
+		}
+	}
+}
+
+// isConstruction reports whether e births a fresh value: T{...},
+// &T{...} or new(T).
+func isConstruction(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			return id.Name == "new"
+		}
+	}
+	return false
+}
+
+func (s *scanner) recordWrite(sel *ast.SelectorExpr, pos token.Pos, ctx wctx) {
+	selection, ok := s.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	named := analysis.NamedOf(s.pass.TypesInfo.TypeOf(sel.X))
+	if named == nil {
+		return
+	}
+	if root := rootIdent(sel.X); root != nil {
+		if obj := s.pass.TypesInfo.Uses[root]; obj != nil && ctx.fresh[obj] {
+			return
+		}
+	}
+	guard := ""
+	switch {
+	case ctx.once:
+		guard = "once"
+	case len(ctx.held) > 0:
+		guard = "mu"
+	}
+	s.sites = append(s.sites, &site{
+		fn:    ctx.fn,
+		pos:   pos,
+		field: field,
+		owner: named.Obj(),
+		guard: guard,
+		async: ctx.async,
+	})
+}
+
+// rootIdent returns the leftmost identifier of a selector chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package sharedmut_test
+
+import (
+	"testing"
+
+	"ncdrf/internal/analysis/analysistest"
+	"ncdrf/internal/analysis/sharedmut"
+)
+
+func TestSharedmut(t *testing.T) {
+	// st before n: n's expectations depend on st's Guards fact.
+	analysistest.Run(t, "testdata", sharedmut.Analyzer, "st", "n")
+}

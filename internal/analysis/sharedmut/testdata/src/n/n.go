@@ -1,0 +1,17 @@
+// Package n is the sharedmut cross-package fixture: st.Shared's
+// guard discipline arrives only through the Guards fact.
+package n
+
+import "st"
+
+// Bump ignores the home package's mutex.
+func Bump(s *st.Shared) {
+	s.Hits++ // want `field Shared\.Hits is mu-guarded in its defining package; this write is unguarded`
+}
+
+// BumpGuarded honors it.
+func BumpGuarded(s *st.Shared) {
+	s.Mu.Lock()
+	s.Hits++
+	s.Mu.Unlock()
+}

@@ -1,0 +1,138 @@
+// Package st is the sharedmut fixture: state structs written from
+// mixed goroutine/synchronous contexts.
+package st
+
+import "sync"
+
+// Exec has one unguarded counter written from both sides of a go
+// statement, and one disciplined counter.
+type Exec struct {
+	mu   sync.Mutex
+	rows int
+	done int
+}
+
+// Run writes rows synchronously and spawns work, which writes it
+// async: both sites are unguarded, both are flagged.
+func (e *Exec) Run() {
+	go e.work()
+	e.rows++ // want `field Exec\.rows is written concurrently`
+}
+
+func (e *Exec) work() {
+	e.rows++ // want `field Exec\.rows is written concurrently`
+}
+
+// Add and RunDone write done under the mutex from both contexts:
+// clean, and the discipline becomes a Guards fact on Exec.
+func (e *Exec) Add() {
+	e.mu.Lock()
+	e.done++
+	e.mu.Unlock()
+}
+
+func (e *Exec) RunDone() {
+	go e.Add()
+	e.mu.Lock()
+	e.done++
+	e.mu.Unlock()
+}
+
+// Base leader: writes under sync.Once are single-shot by construction.
+type Base struct {
+	once sync.Once
+	val  int
+}
+
+func (b *Base) LeadAsync(n int) { go b.set(n) }
+
+func (b *Base) set(n int) {
+	b.once.Do(func() { b.val = n })
+}
+
+func (b *Base) SetLocal(n int) {
+	b.once.Do(func() { b.val = n })
+}
+
+// ForEach is the worker-pool shape: fn runs on goroutines, so ForEach
+// earns an AsyncParams fact for index 1.
+func ForEach(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// Wrapper forwards its own parameter into the pool: the fact
+// propagates, index 1 again.
+func Wrapper(n int, fn func(int)) { ForEach(n, fn) }
+
+// Tally is written from a pool closure and from straight-line code.
+type Tally struct {
+	hits  int
+	hits2 int
+	total int
+}
+
+func (t *Tally) Count(n int) {
+	ForEach(n, func(i int) {
+		t.hits++ // want `field Tally\.hits is written concurrently`
+	})
+	t.hits++ // want `field Tally\.hits is written concurrently`
+}
+
+func (t *Tally) CountViaWrapper(n int) {
+	Wrapper(n, func(i int) {
+		t.hits2++ // want `field Tally\.hits2 is written concurrently`
+	})
+	t.hits2++ // want `field Tally\.hits2 is written concurrently`
+}
+
+// CountLocal never leaves the synchronous world: clean.
+func (t *Tally) CountLocal(n int) {
+	for i := 0; i < n; i++ {
+		t.total++
+	}
+}
+
+// NewExec shows the constructor exemption: a value born here is not
+// shared yet.
+func NewExec() *Exec {
+	e := &Exec{}
+	e.rows = 0
+	return e
+}
+
+// Shared is the cross-package half: Hits is consistently mu-guarded,
+// which becomes a Guards fact for package n's writes to be judged by.
+type Shared struct {
+	Mu   sync.Mutex
+	Hits int
+}
+
+func (s *Shared) Inc() {
+	s.Mu.Lock()
+	s.Hits++
+	s.Mu.Unlock()
+}
+
+// Allowed documents its exception.
+type Gauge struct {
+	n int
+}
+
+func (g *Gauge) bump() {
+	//lint:allow sharedmut -- fixture: approximate gauge, torn reads acceptable
+	g.n++
+}
+
+func (g *Gauge) Watch() {
+	go g.bump()
+	//lint:allow sharedmut -- fixture: approximate gauge, torn reads acceptable
+	g.n++
+}

@@ -9,9 +9,12 @@
 //	           file describes (files, import maps, export data)
 //
 // Any other invocation — `ncdrf-lint ./...` or `go run ./cmd/ncdrf-lint
-// ./...` — is the standalone mode: the tool re-executes `go vet
-// -vettool=<itself>` over the given package patterns, so both modes
-// run the identical per-package checker and produce identical output.
+// ./...` — is the standalone mode (standalone.go): the tool asks
+// `go list` for the packages, orders them topologically and analyzes
+// them in-process, threading analyzer facts between packages through
+// the same gob codec the vetx files use, so both modes run the
+// identical per-package checker with the identical cross-package fact
+// flow.
 package unitchecker
 
 import (
@@ -28,8 +31,8 @@ import (
 	"io"
 	"log"
 	"os"
-	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"ncdrf/internal/analysis"
@@ -63,6 +66,7 @@ func Main(analyzers ...*analysis.Analyzer) {
 	progname := filepath.Base(os.Args[0])
 	log.SetFlags(0)
 	log.SetPrefix(progname + ": ")
+	analysis.RegisterFactTypes(analyzers)
 
 	versionFlag := flag.String("V", "", "print version and exit (-V=full, for the go command)")
 	printFlags := flag.Bool("flags", false, "print the tool's flags in JSON (for the go command)")
@@ -105,9 +109,10 @@ Analyzers:
 		runUnit(args[0], analyzers, *jsonFlag)
 		return
 	}
-	// Standalone mode: let the go command enumerate packages, build
-	// export data and drive this binary per unit.
-	os.Exit(vetSelf(args))
+	// Standalone mode: enumerate the packages with `go list`, order
+	// them topologically and analyze them in-process, threading facts
+	// between packages the same way the vetx files do under go vet.
+	os.Exit(runStandalone(args, analyzers, *jsonFlag))
 }
 
 func firstLine(s string) string {
@@ -115,6 +120,14 @@ func firstLine(s string) string {
 		return s[:i]
 	}
 	return s
+}
+
+// inGOROOT reports whether dir lies inside the toolchain's source
+// tree, i.e. the unit is a standard-library package.
+func inGOROOT(dir string) bool {
+	src := filepath.Join(build.Default.GOROOT, "src")
+	rel, err := filepath.Rel(src, dir)
+	return err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator))
 }
 
 // printVersion implements -V=full. The go command requires the format
@@ -156,29 +169,12 @@ func printFlagDefs() {
 	os.Stdout.Write(data)
 }
 
-// vetSelf re-executes `go vet -vettool=<this binary>` over the given
-// package patterns and returns the exit code to use.
-func vetSelf(patterns []string) int {
-	exe, err := os.Executable()
-	if err != nil {
-		log.Fatal(err)
-	}
-	cmdArgs := append([]string{"vet", "-vettool=" + exe}, patterns...)
-	cmd := exec.Command("go", cmdArgs...)
-	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
-	cmd.Stdin = os.Stdin
-	if err := cmd.Run(); err != nil {
-		if ee, ok := err.(*exec.ExitError); ok {
-			return ee.ExitCode()
-		}
-		log.Fatal(err)
-	}
-	return 0
-}
-
 // runUnit analyzes one compilation unit per the vet config file and
 // exits: 0 when clean, 1 when findings were reported.
+//
+// Every unit runs the analyzers — a VetxOnly dependency unit too,
+// because its exported facts are the whole point of vetting it — but
+// only the target unit's diagnostics are printed.
 func runUnit(configFile string, analyzers []*analysis.Analyzer, asJSON bool) {
 	cfg, err := readConfig(configFile)
 	if err != nil {
@@ -186,20 +182,29 @@ func runUnit(configFile string, analyzers []*analysis.Analyzer, asJSON bool) {
 	}
 
 	// The go command expects the facts output file to exist afterwards
-	// and feeds it to dependents; the suite's analyzers are fact-free,
-	// so an empty file is a complete fact set.
+	// and feeds it to dependents; write an empty (complete, fact-free)
+	// set up front so a typecheck failure below still satisfies it,
+	// then overwrite with the real facts on success.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if cfg.VetxOnly {
-		// Dependency unit: vetted only for facts, never for diagnostics.
+
+	// The suite's invariants are about this repository's code, and its
+	// analyzers do not model the runtime's internal joins and locks —
+	// running them over the standard library would export facts like
+	// "os.ReadFile spawns runtime.createfing" that taint every importer.
+	// Standard-library units (the go command hands them over as VetxOnly
+	// dependencies, recognizable by their GOROOT source directory) keep
+	// the empty fact set, matching the standalone driver, which never
+	// analyzes them at all.
+	if inGOROOT(cfg.Dir) {
 		return
 	}
 
 	fset := token.NewFileSet()
-	findings, err := analyze(fset, cfg, analyzers)
+	findings, facts, err := analyze(fset, cfg, analyzers)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			// The compiler will report the same breakage with a better
@@ -208,7 +213,21 @@ func runUnit(configFile string, analyzers []*analysis.Analyzer, asJSON bool) {
 		}
 		log.Fatal(err)
 	}
+	if cfg.VetxOutput != "" {
+		data, err := facts.Encode()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency unit: vetted only for facts, never for diagnostics.
+		return
+	}
 
+	findings = analysis.Unsuppressed(findings)
 	if asJSON {
 		writeJSON(os.Stdout, fset, cfg.ID, analyzers, findings)
 		return
@@ -237,13 +256,15 @@ func readConfig(filename string) (*Config, error) {
 }
 
 // analyze parses and type-checks the unit against the export data the
-// go command prepared, then runs the suite through the shared driver.
-func analyze(fset *token.FileSet, cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Finding, error) {
+// go command prepared, decodes the dependencies' facts from their vetx
+// files, then runs the suite through the shared driver. The returned
+// fact set holds the dependency facts plus whatever the unit exported.
+func analyze(fset *token.FileSet, cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Finding, *analysis.FactSet, error) {
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		files = append(files, f)
 	}
@@ -283,9 +304,40 @@ func analyze(fset *token.FileSet, cfg *Config, analyzers []*analysis.Analyzer) (
 	}
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return analysis.RunPackage(fset, files, pkg, info, analyzers)
+
+	// Import the dependencies' facts. The lookup goes through the same
+	// compilerImporter instance the type-check used, so a fact's object
+	// resolves to the identical types.Object the unit's TypesInfo
+	// references. Vetx files of fact-free units are empty; Decode
+	// treats that as a complete empty set.
+	facts := analysis.NewFactSet()
+	vetxPaths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, path)
+	}
+	sort.Strings(vetxPaths)
+	for _, path := range vetxPaths {
+		data, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		if err := facts.Decode(data, func(p string) (*types.Package, error) {
+			if p == cfg.ImportPath {
+				return pkg, nil
+			}
+			return compilerImporter.Import(p)
+		}); err != nil {
+			return nil, nil, fmt.Errorf("facts of %s: %w", path, err)
+		}
+	}
+
+	findings, err := analysis.RunPackage(fset, files, pkg, info, analyzers, facts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return findings, facts, nil
 }
 
 // writeJSON emits the same shape the x/tools unitchecker does:

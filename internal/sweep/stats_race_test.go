@@ -1,0 +1,56 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"ncdrf/internal/core"
+	"ncdrf/internal/loops"
+	"ncdrf/internal/machine"
+)
+
+// TestStageStatsDuringFrontierSweep is the regression test for the
+// frontier-executor counter audit: rowsComputed/rowsImplied are bumped
+// from pool workers while stats consumers (the -progress reporter) read
+// them mid-flight. Running a reader against a live frontier sweep pins
+// the counters as race-free — `go test -race` fails here if either side
+// ever regresses to plain ints.
+func TestStageStatsDuringFrontierSweep(t *testing.T) {
+	eng := New(4)
+	grid := Grid{
+		Corpus:   loops.Kernels()[:6],
+		Machines: []*machine.Config{machine.Eval(3)},
+		Models:   []core.Model{core.Unified},
+		Regs:     []int{4, 8, 16, 32, 64, 128},
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				eng.StageStats() // concurrent read of the row counters
+			}
+		}
+	}()
+
+	var rows uint64
+	err := eng.SweepFrontier(context.Background(), grid, func(Result) { rows++ }, FrontierOptions{})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := eng.StageStats()
+	if got := st.RowsComputed + st.RowsImplied; got != rows || rows != uint64(len(grid.Plan())) {
+		t.Fatalf("counters drifted: computed %d + implied %d != emitted %d (plan %d)",
+			st.RowsComputed, st.RowsImplied, rows, len(grid.Plan()))
+	}
+}
