@@ -195,6 +195,45 @@ func TestCommittedFrontierPoint(t *testing.T) {
 	}
 }
 
+// TestCommittedAllocatorPoint guards the third committed trajectory
+// point: BENCH_3.json must stay loadable and keep the allocator PR's
+// acceptance claims machine-checked against the previous point — the
+// bitmap-circle fit engine makes first-fit-alloc at least 2x faster in
+// ns/op and at least 3x leaner in allocs/op than BENCH_2.json, and the
+// downstream consumers of the allocator (the spill pipeline and the
+// dense curve executor, which call it per candidate R) allocate less
+// too. Both points were measured on their own hosts, but ns ratios this
+// large and alloc counts (host-independent) survive host variance.
+func TestCommittedAllocatorPoint(t *testing.T) {
+	prev, err := Load("../../BENCH_2.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Load("../../BENCH_3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, cur := prev.Suite("first-fit-alloc"), rep.Suite("first-fit-alloc")
+	if base == nil || cur == nil {
+		t.Fatal("trajectory lost the first-fit-alloc suite")
+	}
+	if speedup := base.NsPerOp / cur.NsPerOp; speedup < 2 {
+		t.Fatalf("first-fit-alloc speedup = %.2fx, acceptance claims >= 2x", speedup)
+	}
+	if drop := base.AllocsPerOp / cur.AllocsPerOp; drop < 3 {
+		t.Fatalf("first-fit-alloc allocs/op ratio = %.2fx, acceptance claims >= 3x", drop)
+	}
+	for _, name := range []string{"spill-pipeline", "curve-dense"} {
+		b, c := prev.Suite(name), rep.Suite(name)
+		if b == nil || c == nil {
+			t.Fatalf("trajectory lost the %s suite", name)
+		}
+		if c.AllocsPerOp >= b.AllocsPerOp {
+			t.Fatalf("%s allocs/op %.0f did not improve on %.0f", name, c.AllocsPerOp, b.AllocsPerOp)
+		}
+	}
+}
+
 // TestCompare exercises the CI gate in both directions.
 func TestCompare(t *testing.T) {
 	base := &Report{Schema: SchemaVersion, Suites: []SuiteResult{

@@ -79,12 +79,15 @@ func Classify(s *sched.Schedule, lts []lifetime.Lifetime) *Classification {
 }
 
 // classOf computes the class of a single value under the current cluster
-// assignment of the schedule.
+// assignment of the schedule. It walks the adjacency via OutEdgeIndices
+// so the swap pass, which calls it per value per candidate, allocates
+// nothing.
 func classOf(s *sched.Schedule, node int) Class {
 	g := s.Graph
 	first := -1
 	multi := false
-	for _, e := range g.OutEdges(node) {
+	for _, ei := range g.OutEdgeIndices(node) {
+		e := g.Edge(ei)
 		if e.Kind != ddg.Flow {
 			continue
 		}
@@ -132,11 +135,13 @@ func (c *Classification) SumByClass() (global int, local []int) {
 // is the maximum over clusters. A machine with a single cluster gets the
 // plain MaxLive.
 func (c *Classification) MaxLiveEstimate() int {
+	gprof := lifetime.LiveProfile(c.GlobalLts, c.II, nil)
 	worst := 0
+	var lbuf []int
 	for cluster := 0; cluster < c.Clusters; cluster++ {
-		for t := 0; t < c.II; t++ {
-			v := lifetime.LiveAt(c.GlobalLts, c.II, t) + lifetime.LiveAt(c.LocalLts[cluster], c.II, t)
-			if v > worst {
+		lbuf = lifetime.LiveProfile(c.LocalLts[cluster], c.II, lbuf)
+		for t, g := range gprof {
+			if v := g + lbuf[t]; v > worst {
 				worst = v
 			}
 		}

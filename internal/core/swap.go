@@ -42,21 +42,26 @@ func Swap(s *sched.Schedule, opts SwapOptions) (*sched.Schedule, int) {
 		maxSteps = 4 * s.Graph.NumNodes()
 	}
 
+	// One estimator serves every candidate evaluation of every step:
+	// the greedy loop classifies O(steps x candidates) times, and a
+	// fresh Classification (two maps plus per-class slices) per
+	// candidate made that the pass's allocation hot spot.
+	est := newSwapEstimator(s.Mach.NumClusters())
 	steps := 0
 	for ; steps < maxSteps; steps++ {
-		cur := Classify(out, lts).MaxLiveEstimate()
+		cur := est.estimate(out, lts)
 		bestGain := 0
 		bestA, bestB, bestUnit := -1, -1, -1
 		tryCandidate := func(a, b, unit int) {
 			orig := out.FU[a]
 			applyMove(out, a, b, unit)
-			est := Classify(out, lts).MaxLiveEstimate()
+			e := est.estimate(out, lts)
 			if b >= 0 {
 				out.FU[a], out.FU[b] = out.FU[b], out.FU[a]
 			} else {
 				out.FU[a] = orig
 			}
-			if gain := cur - est; gain > bestGain {
+			if gain := cur - e; gain > bestGain {
 				bestGain, bestA, bestB, bestUnit = gain, a, b, unit
 			}
 		}
@@ -74,6 +79,51 @@ func Swap(s *sched.Schedule, opts SwapOptions) (*sched.Schedule, int) {
 		applyMove(out, bestA, bestB, bestUnit)
 	}
 	return out, steps
+}
+
+// swapEstimator computes Classify(s, lts).MaxLiveEstimate() without
+// building a Classification: the per-class lifetime partitions and the
+// live profiles live in buffers owned by the estimator and reused
+// across calls, so a candidate evaluation allocates nothing after
+// warmup. TestSwapEstimatorMatchesClassify pins the equivalence.
+type swapEstimator struct {
+	global []lifetime.Lifetime
+	local  [][]lifetime.Lifetime
+	gprof  []int
+	lprof  []int
+}
+
+func newSwapEstimator(clusters int) *swapEstimator {
+	return &swapEstimator{local: make([][]lifetime.Lifetime, clusters)}
+}
+
+// estimate partitions the lifetimes by storage class under the
+// schedule's current cluster assignment and returns the MaxLive-based
+// register-requirement estimate (see Classification.MaxLiveEstimate).
+func (e *swapEstimator) estimate(s *sched.Schedule, lts []lifetime.Lifetime) int {
+	e.global = e.global[:0]
+	for i := range e.local {
+		e.local[i] = e.local[i][:0]
+	}
+	for _, l := range lts {
+		class := classOf(s, l.Node)
+		if class == Global {
+			e.global = append(e.global, l)
+		} else {
+			e.local[int(class)] = append(e.local[int(class)], l)
+		}
+	}
+	e.gprof = lifetime.LiveProfile(e.global, s.II, e.gprof)
+	worst := 0
+	for cluster := range e.local {
+		e.lprof = lifetime.LiveProfile(e.local[cluster], s.II, e.lprof)
+		for t, g := range e.gprof {
+			if v := g + e.lprof[t]; v > worst {
+				worst = v
+			}
+		}
+	}
+	return worst
 }
 
 // applyMove swaps units of a and b (b >= 0), or moves a to the given

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestSwapEstimatorMatchesClassify pins the buffer-reusing estimator
+// against the allocating path it replaces: on random schedules — and on
+// the intermediate cluster assignments the greedy loop actually probes,
+// simulated by random unit swaps — the estimate must equal
+// Classify(s, lts).MaxLiveEstimate() exactly, including when the same
+// estimator instance is reused across mutations.
+func TestSwapEstimatorMatchesClassify(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, lts := randomSchedule(t, r)
+		est := newSwapEstimator(s.Mach.NumClusters())
+		for mut := 0; mut < 8; mut++ {
+			if est.estimate(s, lts) != Classify(s, lts).MaxLiveEstimate() {
+				return false
+			}
+			// Random same-kind cross-cluster swap, like the greedy pass.
+			pairs := swapPairs(s)
+			if len(pairs) == 0 {
+				break
+			}
+			p := pairs[r.Intn(len(pairs))]
+			s.FU[p[0]], s.FU[p[1]] = s.FU[p[1]], s.FU[p[0]]
+		}
+		return est.estimate(s, lts) == Classify(s, lts).MaxLiveEstimate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSwapAllocationFree pins the satellite's point: one greedy step
+// over a cluster machine must not scale its allocations with the
+// candidate count (the estimator owns all scratch). A loose per-step
+// bound catches a regression back to a fresh Classify per candidate,
+// which allocates several times per candidate pair.
+func TestSwapAllocationFree(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	s, lts := randomSchedule(t, r)
+	if s.Mach.NumClusters() < 2 {
+		t.Skip("random machine is single-cluster")
+	}
+	pairs := len(swapPairs(s))
+	if pairs == 0 {
+		t.Skip("no swap candidates")
+	}
+	est := newSwapEstimator(s.Mach.NumClusters())
+	est.estimate(s, lts) // warm the buffers
+	avg := testing.AllocsPerRun(20, func() {
+		for _, p := range swapPairs(s) {
+			s.FU[p[0]], s.FU[p[1]] = s.FU[p[1]], s.FU[p[0]]
+			est.estimate(s, lts)
+			s.FU[p[0]], s.FU[p[1]] = s.FU[p[1]], s.FU[p[0]]
+		}
+	})
+	// swapPairs itself allocates its result slice; the estimates must
+	// add nothing per candidate.
+	if avg > 8 {
+		t.Fatalf("allocations per step = %v over %d candidates; estimator is allocating per candidate", avg, pairs)
+	}
+}

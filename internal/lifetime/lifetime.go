@@ -35,7 +35,16 @@ func (l Lifetime) String() string { return fmt.Sprintf("v%d[%d,%d)", l.Node, l.S
 // d iterations later, contributing Start + d*II + latency to the end.
 func Compute(s *sched.Schedule) []Lifetime {
 	g := s.Graph
-	var out []Lifetime
+	producers := 0
+	for _, n := range g.Nodes() {
+		if n.Op.ProducesValue() {
+			producers++
+		}
+	}
+	if producers == 0 {
+		return nil
+	}
+	out := make([]Lifetime, 0, producers)
 	for _, n := range g.Nodes() {
 		if !n.Op.ProducesValue() {
 			continue
@@ -77,13 +86,57 @@ func LiveAt(lts []Lifetime, ii, t int) int {
 	return n
 }
 
+// LiveProfile returns the live-instance count of every kernel cycle t in
+// [0, II) — LiveAt(lts, ii, t) for each t — computed with a difference
+// array in O(len(lts) + ii) instead of the per-cycle O(len(lts) * ii)
+// sum. Each value of length L = a*II + b contributes a floor instances
+// everywhere plus one more on the circular window of b cycles starting
+// at Start mod II; the windows accumulate as endpoint deltas and one
+// prefix sum recovers the counts. buf's backing array is reused when
+// large enough, so steady-state callers allocate nothing.
+func LiveProfile(lts []Lifetime, ii int, buf []int) []int {
+	if ii < 1 {
+		return buf[:0]
+	}
+	if cap(buf) < ii+1 {
+		buf = make([]int, ii+1)
+	}
+	buf = buf[:ii+1]
+	clear(buf)
+	base := 0
+	for _, l := range lts {
+		length := l.End - l.Start
+		a := floorDiv(length, ii)
+		base += a
+		b := length - a*ii // in [0, ii)
+		if b == 0 {
+			continue
+		}
+		w := l.Start - floorDiv(l.Start, ii)*ii // Start mod II, in [0, ii)
+		if w+b <= ii {
+			buf[w]++
+			buf[w+b]--
+		} else { // window wraps: [w, ii) and [0, w+b-ii)
+			buf[0]++
+			buf[w+b-ii]--
+			buf[w]++
+		}
+	}
+	run := base
+	for t := 0; t < ii; t++ {
+		run += buf[t]
+		buf[t] = run
+	}
+	return buf[:ii]
+}
+
 // MaxLive returns the maximum number of simultaneously live value
 // instances over a steady-state kernel iteration. It is a lower bound on
 // the registers required by any allocation.
 func MaxLive(lts []Lifetime, ii int) int {
 	max := 0
-	for t := 0; t < ii; t++ {
-		if v := LiveAt(lts, ii, t); v > max {
+	for _, v := range LiveProfile(lts, ii, nil) {
+		if v > max {
 			max = v
 		}
 	}

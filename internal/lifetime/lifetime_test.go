@@ -171,6 +171,75 @@ func TestPropertyLiveCountShiftInvariant(t *testing.T) {
 	}
 }
 
+// TestPropertyLiveProfileMatchesLiveAt pins the difference-array
+// profile against the per-cycle definition, including negative starts
+// and lifetimes spanning many iterations, and MaxLive against the
+// brute-force maximum.
+func TestPropertyLiveProfileMatchesLiveAt(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ii := 1 + r.Intn(7)
+		var lts []Lifetime
+		for i := 0; i < r.Intn(14); i++ {
+			s := r.Intn(40) - 15
+			lts = append(lts, Lifetime{Node: i, Start: s, End: s + 1 + r.Intn(5*ii+10)})
+		}
+		prof := LiveProfile(lts, ii, nil)
+		if len(prof) != ii {
+			return false
+		}
+		brute := 0
+		for t0 := 0; t0 < ii; t0++ {
+			v := LiveAt(lts, ii, t0)
+			if prof[t0] != v {
+				return false
+			}
+			if v > brute {
+				brute = v
+			}
+		}
+		return MaxLive(lts, ii) == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveProfileReusesBuffer pins the zero-allocation contract: a
+// buffer of sufficient capacity is reused, and stale contents are
+// cleared.
+func TestLiveProfileReusesBuffer(t *testing.T) {
+	lts := []Lifetime{{Node: 0, Start: 0, End: 5}}
+	buf := make([]int, 0, 16)
+	for i := range buf[:cap(buf)] {
+		_ = i
+	}
+	got := LiveProfile(lts, 2, buf)
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("LiveProfile did not reuse the provided buffer")
+	}
+	if got[0] != 3 || got[1] != 2 {
+		t.Fatalf("profile = %v, want [3 2]", got)
+	}
+	// A dirty, larger buffer must give the same answer.
+	dirty := []int{9, 9, 9, 9, 9, 9}
+	got = LiveProfile(lts, 2, dirty)
+	if got[0] != 3 || got[1] != 2 {
+		t.Fatalf("dirty-buffer profile = %v, want [3 2]", got)
+	}
+	if empty := LiveProfile(nil, 0, nil); len(empty) != 0 {
+		t.Fatalf("ii<1 profile = %v, want empty", empty)
+	}
+}
+
+func TestComputePreallocatesExactly(t *testing.T) {
+	s := paperSchedule(t)
+	lts := Compute(s)
+	if cap(lts) != len(lts) {
+		t.Fatalf("Compute over-allocated: len %d cap %d", len(lts), cap(lts))
+	}
+}
+
 func TestFloorDiv(t *testing.T) {
 	cases := []struct{ a, b, want int }{
 		{7, 2, 3}, {-7, 2, -4}, {6, 3, 2}, {-6, 3, -2}, {0, 5, 0}, {-1, 4, -1},

@@ -11,11 +11,16 @@
 // when their arcs overlap on that circle, independent of the physical
 // register, so allocation reduces to placing one arc per value with the
 // free parameter q in {0..R-1}.
+//
+// The placement engine represents the circle as an occupancy bitmap
+// (fit.go); reference.go keeps the original pairwise-arc implementation
+// as the executable specification the bitmap core is differentially
+// tested against.
 package regalloc
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"ncdrf/internal/lifetime"
 )
@@ -31,31 +36,19 @@ type Allocation struct {
 	Spec map[int]int
 }
 
-// arc is a placed interval on the allocation circle.
-type arc struct {
-	start, end int // end may exceed the circumference; interpreted mod C
-}
-
-// overlaps reports whether two arcs intersect on a circle of
-// circumference c. Arcs are half-open [start, end).
-func (a arc) overlaps(b arc, c int) bool {
-	// Compare every pair of translates within one period.
-	as, ae := mod(a.start, c), a.end-a.start
-	bs, be := mod(b.start, c), b.end-b.start
-	// a occupies [as, as+ae), b occupies [bs, bs+be) on the line after
-	// normalizing; wrapping handled by also checking the +c translate.
-	return segOverlap(as, as+ae, bs, bs+be) ||
-		segOverlap(as, as+ae, bs+c, bs+c+be) ||
-		segOverlap(as+c, as+c+ae, bs, bs+be)
-}
-
-func segOverlap(a0, a1, b0, b1 int) bool { return a0 < b1 && b0 < a1 }
-
 // FirstFit allocates the lifetimes into the smallest rotating file the
 // First Fit heuristic can manage, searching the file size upward from the
 // average-live lower bound. An error is returned only for invalid input
 // (non-positive II or a non-positive lifetime).
 func FirstFit(lts []lifetime.Lifetime, ii int) (*Allocation, error) {
+	return allocate(lts, ii, StrategyFirstFit)
+}
+
+// allocate is the shared driver behind FirstFit and Allocate: validate,
+// sort the placement order once, then search the file size upward from
+// the exact lower bound, reusing one pooled fitState for every size
+// tried. The specifier map is built only for the successful size.
+func allocate(lts []lifetime.Lifetime, ii int, strat Strategy) (*Allocation, error) {
 	if ii < 1 {
 		return nil, fmt.Errorf("regalloc: II = %d", ii)
 	}
@@ -71,14 +64,23 @@ func FirstFit(lts []lifetime.Lifetime, ii int) (*Allocation, error) {
 	if ml := lifetime.MaxLive(lts, ii); ml > low {
 		low = ml
 	}
+	st := fitStates.Get().(*fitState)
+	st.prepare(lts, strat)
 	for r := low; ; r++ {
-		if spec, ok := tryFit(lts, ii, r); ok {
+		if st.tryFit(ii, r, strat) {
+			spec := make(map[int]int, len(st.order))
+			for i := range st.order {
+				spec[st.order[i].Node] = int(st.qs[i])
+			}
+			fitStates.Put(st)
 			return &Allocation{Registers: r, II: ii, Spec: spec}, nil
 		}
 	}
 }
 
 // FitsIn reports whether First Fit succeeds with at most r registers.
+// This is the frontier probe path: no specifier map is materialized,
+// only the placement feasibility is computed.
 func FitsIn(lts []lifetime.Lifetime, ii, r int) bool {
 	if len(lts) == 0 {
 		return true
@@ -86,58 +88,19 @@ func FitsIn(lts []lifetime.Lifetime, ii, r int) bool {
 	if r < lifetime.AvgLiveBound(lts, ii) {
 		return false
 	}
-	_, ok := tryFit(lts, ii, r)
+	st := fitStates.Get().(*fitState)
+	st.prepare(lts, StrategyFirstFit)
+	ok := st.tryFit(ii, r, StrategyFirstFit)
+	fitStates.Put(st)
 	return ok
-}
-
-// tryFit attempts First Fit placement with exactly r registers: values in
-// increasing start-time order, each given the smallest specifier q whose
-// arc avoids all previously placed arcs.
-func tryFit(lts []lifetime.Lifetime, ii, r int) (map[int]int, bool) {
-	c := r * ii
-	order := append([]lifetime.Lifetime(nil), lts...)
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].Start != order[j].Start {
-			return order[i].Start < order[j].Start
-		}
-		if order[i].End != order[j].End {
-			return order[i].End > order[j].End // longer lifetime first
-		}
-		return order[i].Node < order[j].Node
-	})
-	var placed []arc
-	spec := make(map[int]int, len(order))
-	for _, l := range order {
-		if l.Len() > c {
-			return nil, false // a single wand cannot exceed the circle
-		}
-		found := false
-		for q := 0; q < r; q++ {
-			cand := arc{start: l.Start + q*ii, end: l.End + q*ii}
-			ok := true
-			for _, p := range placed {
-				if cand.overlaps(p, c) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				placed = append(placed, cand)
-				spec[l.Node] = q
-				found = true
-				break
-			}
-		}
-		if !found {
-			return nil, false
-		}
-	}
-	return spec, true
 }
 
 // Validate checks that an allocation is conflict-free for the given
 // lifetimes: all arcs pairwise disjoint on the circle of circumference
-// Registers*II.
+// Registers*II. The check is a sweep line over the sorted arc endpoints
+// (each arc contributes at most two linear segments after unwrapping),
+// O(n log n) instead of the reference's O(n^2) pairwise comparison
+// (equivalence pinned by fit_diff_test.go).
 func (a *Allocation) Validate(lts []lifetime.Lifetime) error {
 	if a.Registers == 0 {
 		if len(lts) != 0 {
@@ -146,8 +109,9 @@ func (a *Allocation) Validate(lts []lifetime.Lifetime) error {
 		return nil
 	}
 	c := a.Registers * a.II
-	arcs := make([]arc, 0, len(lts))
-	for _, l := range lts {
+	type seg struct{ start, end, idx int }
+	segs := make([]seg, 0, 2*len(lts))
+	for i, l := range lts {
 		q, ok := a.Spec[l.Node]
 		if !ok {
 			return fmt.Errorf("regalloc: value %d not allocated", l.Node)
@@ -158,22 +122,38 @@ func (a *Allocation) Validate(lts []lifetime.Lifetime) error {
 		if l.Len() > c {
 			return fmt.Errorf("regalloc: value %d lifetime %d exceeds circle %d", l.Node, l.Len(), c)
 		}
-		arcs = append(arcs, arc{start: l.Start + q*a.II, end: l.End + q*a.II})
+		length := l.Len()
+		if length < 1 {
+			continue // an empty arc cannot collide
+		}
+		s := mod(l.Start+q*a.II, c)
+		if s+length <= c {
+			segs = append(segs, seg{s, s + length, i})
+		} else {
+			segs = append(segs, seg{s, c, i}, seg{0, s + length - c, i})
+		}
 	}
-	for i := 0; i < len(arcs); i++ {
-		for j := i + 1; j < len(arcs); j++ {
-			if arcs[i].overlaps(arcs[j], c) {
-				return fmt.Errorf("regalloc: values %d and %d collide", lts[i].Node, lts[j].Node)
+	slices.SortFunc(segs, func(x, y seg) int {
+		if x.start != y.start {
+			return x.start - y.start
+		}
+		if x.end != y.end {
+			return x.end - y.end
+		}
+		return x.idx - y.idx
+	})
+	maxEnd, maxIdx := -1, -1
+	for _, sg := range segs {
+		if sg.start < maxEnd && sg.idx != maxIdx {
+			i, j := maxIdx, sg.idx
+			if i > j {
+				i, j = j, i
 			}
+			return fmt.Errorf("regalloc: values %d and %d collide", lts[i].Node, lts[j].Node)
+		}
+		if sg.end > maxEnd {
+			maxEnd, maxIdx = sg.end, sg.idx
 		}
 	}
 	return nil
-}
-
-func mod(a, m int) int {
-	r := a % m
-	if r < 0 {
-		r += m
-	}
-	return r
 }
